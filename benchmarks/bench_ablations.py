@@ -1,0 +1,159 @@
+"""Ablations of the framework's own machinery (§3.3-3.4, DESIGN.md §6).
+
+* cost-annotation reuse on/off — optimizer block-optimizations and time;
+* cost cut-off on/off — plan quality must be unchanged;
+* interleaving on/off — the Q1/Q10/Q11 trap: without interleaving the
+  unnesting decision can get stuck at a local minimum;
+* semijoin left-side caching — duplicate-heavy probe side.
+"""
+
+import time
+
+import pytest
+
+from repro import OptimizerConfig
+from repro.cbqt.framework import CbqtConfig, CbqtFramework
+from repro.optimizer.annotations import AnnotationStore
+from repro.optimizer.physical import OptimizerCounters, PhysicalOptimizer
+
+from conftest import record_report
+
+COMPLEX_QUERY = """
+SELECT e1.employee_name, j.job_title
+FROM employees e1, job_history j
+WHERE e1.emp_id = j.emp_id AND j.start_date > '1998-01-01'
+  AND e1.salary > (SELECT AVG(e2.salary) FROM employees e2
+                   WHERE e2.dept_id = e1.dept_id)
+  AND e1.dept_id IN (SELECT d.dept_id FROM departments d, locations l
+                     WHERE d.loc_id = l.loc_id AND l.country_id = 1)
+  AND EXISTS (SELECT 1 FROM job_history j2, jobs jb
+              WHERE j2.emp_id = e1.emp_id AND j2.job_id = jb.job_id
+              AND jb.min_salary > 2000)
+"""
+
+
+def optimize_with(hr_db, *, reuse=True, cutoff=True, interleave=True):
+    counters = OptimizerCounters()
+    physical = PhysicalOptimizer(
+        hr_db.catalog, hr_db.statistics,
+        annotations=AnnotationStore(enabled=reuse), counters=counters,
+    )
+    framework = CbqtFramework(
+        hr_db.catalog, physical,
+        CbqtConfig(search_strategy="exhaustive", cost_cutoff=cutoff,
+                   interleaving=interleave),
+    )
+    started = time.perf_counter()
+    _tree, plan, report = framework.optimize(hr_db.parse(COMPLEX_QUERY))
+    elapsed = time.perf_counter() - started
+    return plan, report, counters, elapsed
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_annotation_reuse(benchmark, hr_db):
+    def run():
+        return optimize_with(hr_db, reuse=True), optimize_with(hr_db, reuse=False)
+
+    (with_reuse, without_reuse) = benchmark.pedantic(run, rounds=1, iterations=1)
+    plan_r, _rep_r, counters_r, time_r = with_reuse
+    plan_n, _rep_n, counters_n, time_n = without_reuse
+
+    record_report(
+        "Ablation annotation reuse",
+        "\n".join([
+            "Cost-annotation reuse (3-subquery query, exhaustive search)",
+            f"  blocks optimized   with reuse: {counters_r.blocks_optimized:5d}"
+            f"   without: {counters_n.blocks_optimized:5d}",
+            f"  optimization time  with reuse: {time_r:6.3f}s"
+            f"  without: {time_n:6.3f}s",
+            f"  same final plan cost: "
+            f"{abs(plan_r.cost - plan_n.cost) < 1e-6}",
+        ]),
+    )
+    assert counters_r.blocks_optimized < counters_n.blocks_optimized
+    assert plan_r.cost == pytest.approx(plan_n.cost)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_cost_cutoff(benchmark, hr_db):
+    def run():
+        return (
+            optimize_with(hr_db, cutoff=True),
+            optimize_with(hr_db, cutoff=False),
+        )
+
+    (with_cutoff, without_cutoff) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    plan_c, report_c, _counters_c, time_c = with_cutoff
+    plan_n, report_n, _counters_n, time_n = without_cutoff
+
+    record_report(
+        "Ablation cost cutoff",
+        "\n".join([
+            "Cost cut-off during state costing",
+            f"  states costed  with cutoff: {report_c.total_states}"
+            f"   without: {report_n.total_states}",
+            f"  optimization time  with: {time_c:6.3f}s  without: {time_n:6.3f}s",
+            f"  plan cost identical: {abs(plan_c.cost - plan_n.cost) < 1e-6}",
+        ]),
+    )
+    # cut-off must never change the chosen plan
+    assert plan_c.cost == pytest.approx(plan_n.cost)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_interleaving(benchmark, hr_db):
+    def run():
+        return (
+            optimize_with(hr_db, interleave=True),
+            optimize_with(hr_db, interleave=False),
+        )
+
+    (with_il, without_il) = benchmark.pedantic(run, rounds=1, iterations=1)
+    plan_i, report_i, _c, _t = with_il
+    plan_n, report_n, _c2, _t2 = without_il
+
+    record_report(
+        "Ablation interleaving",
+        "\n".join([
+            "Interleaving unnesting with group-by view merging (§3.3.1)",
+            f"  plan cost with interleaving:    {plan_i.cost:12.0f}",
+            f"  plan cost without interleaving: {plan_n.cost:12.0f}",
+            f"  states with: {report_i.total_states}   "
+            f"without: {report_n.total_states}",
+        ]),
+    )
+    # interleaving explores a superset of plans: never worse
+    assert plan_i.cost <= plan_n.cost + 1e-6
+    assert report_i.total_states >= report_n.total_states
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_semijoin_caching(benchmark, apps):
+    """Semijoin left-side duplicate caching (§2.1.1): probing with a
+    duplicate-heavy (zipf-skewed) foreign key should hit the probe cache
+    for a large share of rows."""
+    db, schema = apps
+    child, parent, fk, pk = schema.joinable_pairs()[0]
+    sql = (
+        f"SELECT c.{child.pk} FROM {child.name} c WHERE EXISTS "
+        f"(SELECT 1 FROM {parent.name} p WHERE p.{pk} = c.{fk} "
+        f"AND p.{parent.numeric_columns[0]} > 2)"
+    )
+
+    def run():
+        return db.execute(sql)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = result.exec_stats
+    record_report(
+        "Ablation semijoin caching",
+        "\n".join([
+            "Semijoin probe caching on a zipf-skewed join column",
+            f"  probe cache hits: {stats.subquery_cache_hits}",
+            f"  rows probed:      {result.exec_stats.rows_out} emitted of "
+            f"{db.storage.get(child.name).row_count} probes",
+        ]),
+    )
+    assert stats.subquery_cache_hits > 0

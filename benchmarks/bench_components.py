@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the stack's components (pytest-benchmark proper):
+parser, query-tree build + clone, physical optimization, execution.
+
+These are not paper artifacts; they track the cost of the machinery the
+CBQT framework exercises per state (deep copy + re-optimization) and
+guard against performance regressions."""
+
+import pytest
+
+from repro import OptimizerConfig
+from repro.optimizer.physical import PhysicalOptimizer
+from repro.sql import parse_query
+
+COMPLEX_SQL = """
+SELECT e1.employee_name, j.job_title
+FROM employees e1, job_history j
+WHERE e1.emp_id = j.emp_id AND j.start_date > '1998-01-01'
+  AND e1.salary > (SELECT AVG(e2.salary) FROM employees e2
+                   WHERE e2.dept_id = e1.dept_id)
+  AND e1.dept_id IN (SELECT d.dept_id FROM departments d, locations l
+                     WHERE d.loc_id = l.loc_id AND l.country_id = 1)
+"""
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_parse(benchmark):
+    benchmark(parse_query, COMPLEX_SQL)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_build_query_tree(benchmark, hr_db):
+    stmt_sql = COMPLEX_SQL
+    benchmark(hr_db.parse, stmt_sql)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_deep_copy(benchmark, hr_db):
+    tree = hr_db.parse(COMPLEX_SQL)
+    benchmark(tree.clone)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_signature(benchmark, hr_db):
+    from repro.qtree import signature
+
+    tree = hr_db.parse(COMPLEX_SQL)
+    benchmark(signature, tree)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_physical_optimize(benchmark, hr_db):
+    tree = hr_db.parse(COMPLEX_SQL)
+
+    def optimize():
+        optimizer = PhysicalOptimizer(hr_db.catalog, hr_db.statistics)
+        return optimizer.optimize(tree)
+
+    benchmark(optimize)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_full_cbqt_optimize(benchmark, hr_db):
+    benchmark(hr_db.optimize, COMPLEX_SQL)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_execute_simple_join(benchmark, hr_db):
+    sql = (
+        "SELECT e.emp_id, d.department_name FROM employees e, departments d "
+        "WHERE e.dept_id = d.dept_id AND d.loc_id = 3"
+    )
+
+    def run():
+        return hr_db.execute(sql, OptimizerConfig())
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+@pytest.mark.benchmark(group="components")
+def test_bench_execute_aggregate(benchmark, hr_db):
+    sql = (
+        "SELECT e.dept_id, COUNT(*), AVG(e.salary) FROM employees e "
+        "GROUP BY e.dept_id"
+    )
+
+    def run():
+        return hr_db.execute(sql)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,95 @@
+"""Shared benchmark fixtures and reporting.
+
+Every benchmark regenerates one table or figure of the paper and
+registers a text report; reports are printed in the terminal summary and
+saved under ``benchmarks/results/``.
+
+Scale note: the paper's workload is 241,000 production queries against a
+14,000-table schema; these benches run a deterministic synthetic workload
+(same query-class mix, see DESIGN.md §3) scaled to minutes of laptop
+time.  The *shape* assertions (who wins, rough factors, where curves
+bend) are the reproduction target, not absolute counts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import Database, OptimizerConfig
+from repro.workload import (
+    MixWeights,
+    QueryGenerator,
+    apps_database,
+    hr_database,
+    register_workload_functions,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record_report(title: str, text: str) -> None:
+    """Register a report for the terminal summary and persist it."""
+    _REPORTS.append((title, text))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    safe = title.lower().replace(" ", "_").replace("/", "-")
+    (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for title, text in _REPORTS:
+        terminalreporter.write_sep("-", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def hr_db() -> Database:
+    return hr_database(scale=1, seed=42)
+
+
+@pytest.fixture(scope="session")
+def apps():
+    """The synthetic applications schema + a registered expensive UDF."""
+    db, schema = apps_database(seed=7)
+    register_workload_functions(db)
+    return db, schema
+
+
+@pytest.fixture(scope="session")
+def mixed_queries(apps):
+    """A standard-mix workload slice (the paper's ~92% simple / 8%
+    complex)."""
+    _db, schema = apps
+    return QueryGenerator(schema, seed=101).generate(150)
+
+
+@pytest.fixture(scope="session")
+def complex_queries(apps):
+    """An enriched complex-query pool: the benches report over *affected*
+    queries, as the paper does, so most of the budget goes to queries the
+    transformations can touch."""
+    _db, schema = apps
+    weights = MixWeights(
+        spj=0.10, exists=0.14, not_exists=0.08, in_multi=0.10, not_in=0.06,
+        agg_subquery=0.16, groupby_view=0.12, distinct_view=0.08, gbp=0.08,
+        union_all=0.03, setop=0.02, or_pred=0.02, rownum_pullup=0.01,
+    )
+    return QueryGenerator(schema, seed=202, weights=weights).generate(70)
+
+
+def format_curve(title: str, points, extra_lines=()) -> str:
+    lines = [title, f"{'top N%':>8} {'queries':>8} {'improvement %':>14}"]
+    for point in points:
+        lines.append(
+            f"{point.fraction * 100:7.0f}% {point.n_queries:8d} "
+            f"{point.improvement_percent:14.1f}"
+        )
+    lines.extend(extra_lines)
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""A gallery of every transformation in the suite: for each one, a query
+it applies to, the transformed SQL, and the optimizer's verdict.
+
+Run:  python examples/transformation_gallery.py
+"""
+
+import random
+
+from repro import Database
+
+
+def build_db() -> Database:
+    db = Database()
+    db.execute_ddl("""
+        CREATE TABLE regions (region_id INT PRIMARY KEY, name VARCHAR(20))
+    """)
+    db.execute_ddl("""
+        CREATE TABLE stores (
+            store_id INT PRIMARY KEY,
+            region_id INT REFERENCES regions(region_id),
+            size INT)
+    """)
+    db.execute_ddl("""
+        CREATE TABLE sales (
+            sale_id INT PRIMARY KEY,
+            store_id INT REFERENCES stores(store_id),
+            amount INT,
+            day INT)
+    """)
+    db.execute_ddl("""
+        CREATE TABLE returns (
+            return_id INT PRIMARY KEY,
+            store_id INT,
+            amount INT)
+    """)
+    db.execute_ddl("CREATE INDEX sales_store ON sales (store_id)")
+    db.execute_ddl("CREATE INDEX stores_region ON stores (region_id)")
+    rng = random.Random(3)
+    db.insert("regions", [
+        {"region_id": i, "name": f"r{i}"} for i in range(1, 7)
+    ])
+    db.insert("stores", [
+        {"store_id": i, "region_id": rng.randint(1, 6),
+         "size": rng.randint(1, 100)}
+        for i in range(1, 81)
+    ])
+    db.insert("sales", [
+        {"sale_id": i, "store_id": rng.randint(1, 80),
+         "amount": rng.randint(1, 500), "day": rng.randint(1, 365)}
+        for i in range(1, 4001)
+    ])
+    db.insert("returns", [
+        {"return_id": i, "store_id": rng.randint(1, 90),
+         "amount": rng.randint(1, 300)}
+        for i in range(1, 301)
+    ])
+    db.analyze()
+    db.register_function(
+        "FRAUD_SCORE", lambda x: None if x is None else (x * 37) % 5,
+        expensive_cost=400.0,
+    )
+    return db
+
+
+GALLERY = [
+    ("subquery unnesting (merge -> semijoin, imperative §2.1.1)",
+     "SELECT s.store_id FROM stores s WHERE EXISTS "
+     "(SELECT 1 FROM sales x WHERE x.store_id = s.store_id "
+     "AND x.amount > 400)"),
+    ("null-aware antijoin (NOT IN over nullable column)",
+     "SELECT s.store_id FROM stores s WHERE s.store_id NOT IN "
+     "(SELECT r.store_id FROM returns r WHERE r.amount > 200)"),
+    ("aggregate subquery unnesting (cost-based, Q1/Q10)",
+     "SELECT x.sale_id FROM sales x WHERE x.amount > "
+     "(SELECT AVG(y.amount) FROM sales y WHERE y.store_id = x.store_id)"),
+    ("group-by view merging (Q10 -> Q11)",
+     "SELECT s.store_id, v.total FROM stores s, "
+     "(SELECT x.store_id AS sid, SUM(x.amount) AS total FROM sales x "
+     "GROUP BY x.store_id) v WHERE v.sid = s.store_id AND s.size > 90"),
+    ("join predicate pushdown (Q12 -> Q13)",
+     "SELECT s.store_id FROM stores s, "
+     "(SELECT DISTINCT x.store_id AS sid FROM sales x WHERE x.amount > 450) v "
+     "WHERE v.sid = s.store_id AND s.size > 95"),
+    ("group-by placement / eager aggregation (§2.2.4)",
+     "SELECT r.name, SUM(x.amount) FROM regions r, stores s, sales x "
+     "WHERE x.store_id = s.store_id AND s.region_id = r.region_id "
+     "GROUP BY r.name"),
+    ("join factorization (Q14 -> Q15)",
+     "SELECT s.store_id, x.amount FROM stores s, sales x "
+     "WHERE x.store_id = s.store_id AND x.day < 30 "
+     "UNION ALL "
+     "SELECT s.store_id, x.amount FROM stores s, sales x "
+     "WHERE x.store_id = s.store_id AND x.day > 330"),
+    ("MINUS into antijoin (§2.2.7)",
+     "SELECT x.store_id FROM sales x MINUS "
+     "SELECT r.store_id FROM returns r"),
+    ("disjunction into UNION ALL (§2.2.8)",
+     "SELECT s.store_id FROM stores s, sales x WHERE "
+     "x.store_id = s.store_id AND (s.size > 98 OR x.amount > 495)"),
+    ("expensive-predicate pullup under ROWNUM (Q16 -> Q17)",
+     "SELECT v.sale_id FROM (SELECT x.sale_id, x.amount FROM sales x "
+     "WHERE FRAUD_SCORE(x.amount) = 1 ORDER BY x.amount DESC) v "
+     "WHERE rownum <= 10"),
+    ("join elimination (Q4 -> Q6)",
+     "SELECT x.sale_id, x.amount FROM sales x, stores s "
+     "WHERE x.store_id = s.store_id"),
+]
+
+
+def main() -> None:
+    db = build_db()
+    for title, sql in GALLERY:
+        optimized = db.optimize(sql)
+        applied = [
+            label
+            for decision in optimized.report.decisions
+            for label in decision.applied_labels
+        ]
+        print("=" * 72)
+        print(title)
+        print(f"  decisions applied: {applied or ['(none / heuristic only)']}")
+        print(f"  transformed: {optimized.transformed_sql[:160]}")
+        result = db.execute(sql)
+        print(f"  -> {len(result.rows)} rows, "
+              f"{result.work_units:,.0f} work units")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — Cost-Based Query Transformation in Oracle (VLDB 2006), rebuilt.
+
+A from-scratch, pure-Python relational engine whose optimizer implements
+the paper's cost-based query transformation (CBQT) framework: heuristic
+and cost-based logical transformations, state-space search over
+transformation alternatives costed by a System-R-style physical
+optimizer, cost-annotation reuse, cost cut-off, interleaving and
+juxtaposition of interacting transformations — plus the execution engine
+and workload machinery needed to regenerate the paper's evaluation.
+
+Entry points: :class:`Database`, :class:`OptimizerConfig`.
+"""
+
+from .cbqt.framework import CbqtConfig, OptimizationReport
+from .database import Database, OptimizedQuery, OptimizerConfig, QueryResult
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "OptimizerConfig",
+    "OptimizedQuery",
+    "QueryResult",
+    "CbqtConfig",
+    "OptimizationReport",
+    "ReproError",
+    "__version__",
+]

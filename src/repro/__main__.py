@@ -1,0 +1,5 @@
+"""``python -m repro`` — launch the interactive SQL shell."""
+
+from .cli import main
+
+raise SystemExit(main())

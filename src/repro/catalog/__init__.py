@@ -1,0 +1,26 @@
+"""Catalog: schema definitions, statistics, and synthetic data generators."""
+
+from .schema import Catalog, Column, DataType, ForeignKey, Index, TableDef
+from .statistics import (
+    ColumnStats,
+    Histogram,
+    StatisticsRegistry,
+    TableStats,
+    collect_statistics,
+    sample_statistics,
+)
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "DataType",
+    "ForeignKey",
+    "Index",
+    "TableDef",
+    "ColumnStats",
+    "Histogram",
+    "StatisticsRegistry",
+    "TableStats",
+    "collect_statistics",
+    "sample_statistics",
+]

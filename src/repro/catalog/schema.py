@@ -1,0 +1,295 @@
+"""Schema objects: tables, columns, indexes, and integrity constraints.
+
+The catalog is purely definitional — row storage lives in
+:mod:`repro.engine.tables` and statistics in
+:mod:`repro.catalog.statistics`.  Transformations consult the catalog for
+the structural facts they key on: primary/unique keys (join elimination,
+group-by removal under JPPD), foreign keys (join elimination), NOT NULL
+(null-aware antijoin legality), and index existence (the pre-10g heuristic
+unnesting rule from §2.2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from ..errors import CatalogError
+from ..sql import ast
+
+
+class DataType(enum.Enum):
+    """Column data types.  DATE values are ISO-format strings, which order
+    correctly under string comparison."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"
+
+    @classmethod
+    def from_sql(cls, type_name: str) -> "DataType":
+        name = type_name.upper()
+        if name in ("INT", "INTEGER"):
+            return cls.INT
+        if name in ("NUMBER", "FLOAT"):
+            return cls.FLOAT
+        if name in ("VARCHAR", "VARCHAR2", "CHAR"):
+            return cls.STRING
+        if name == "DATE":
+            return cls.DATE
+        raise CatalogError(f"unsupported SQL type {type_name!r}")
+
+
+@dataclass
+class Column:
+    """One column of a table."""
+
+    name: str
+    data_type: DataType
+    not_null: bool = False
+
+    def __post_init__(self) -> None:
+        self.name = self.name.lower()
+
+
+@dataclass(frozen=True)
+class Index:
+    """A (B-tree) index on one or more columns of a table."""
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+
+    @property
+    def leading_column(self) -> str:
+        return self.columns[0]
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A referential constraint: ``columns`` reference
+    ``ref_table.ref_columns`` (which must be that table's PK or a unique
+    key)."""
+
+    table: str
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+
+class TableDef:
+    """Definition of one base table."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        primary_key: Optional[tuple[str, ...]] = None,
+        unique_keys: Iterable[tuple[str, ...]] = (),
+        foreign_keys: Iterable[ForeignKey] = (),
+    ):
+        self.name = name.lower()
+        self.columns: dict[str, Column] = {}
+        for column in columns:
+            if column.name in self.columns:
+                raise CatalogError(
+                    f"duplicate column {column.name!r} in table {self.name!r}"
+                )
+            self.columns[column.name] = column
+        self.primary_key = primary_key
+        self.unique_keys: list[tuple[str, ...]] = list(unique_keys)
+        self.foreign_keys: list[ForeignKey] = list(foreign_keys)
+        self.indexes: list[Index] = []
+        self._validate()
+
+    def _validate(self) -> None:
+        for key in ([self.primary_key] if self.primary_key else []) + self.unique_keys:
+            for col in key:
+                if col not in self.columns:
+                    raise CatalogError(
+                        f"key column {col!r} not in table {self.name!r}"
+                    )
+        for fk in self.foreign_keys:
+            for col in fk.columns:
+                if col not in self.columns:
+                    raise CatalogError(
+                        f"foreign key column {col!r} not in table {self.name!r}"
+                    )
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self.columns
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"no column {name!r} in table {self.name!r}"
+            ) from None
+
+    def all_keys(self) -> list[tuple[str, ...]]:
+        """All declared unique keys, primary key first."""
+        keys = []
+        if self.primary_key:
+            keys.append(self.primary_key)
+        keys.extend(self.unique_keys)
+        for index in self.indexes:
+            if index.unique and index.columns not in keys:
+                keys.append(index.columns)
+        return keys
+
+    def is_unique_key(self, columns: Iterable[str]) -> bool:
+        """True if some declared key is a subset of *columns* (so equality
+        on *columns* identifies at most one row)."""
+        column_set = {c.lower() for c in columns}
+        return any(set(key) <= column_set for key in self.all_keys())
+
+    def __repr__(self) -> str:
+        return f"TableDef({self.name}, {len(self.columns)} columns)"
+
+
+class Catalog:
+    """The schema dictionary: table definitions, indexes, and registered
+    expensive functions (used by the predicate-pullup transformation)."""
+
+    def __init__(self) -> None:
+        self.tables: dict[str, TableDef] = {}
+        self.indexes: dict[str, Index] = {}
+        #: function name -> per-call cost in work units; presence marks the
+        #: function as "expensive" per §2.2.6 of the paper.
+        self.expensive_functions: dict[str, float] = {}
+
+    # -- definition --------------------------------------------------------
+
+    def add_table(self, table: TableDef) -> TableDef:
+        if table.name in self.tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self.tables[table.name] = table
+        if table.primary_key:
+            self._add_key_index(table, table.primary_key, "pk")
+        for i, key in enumerate(table.unique_keys):
+            self._add_key_index(table, key, f"uk{i}")
+        return table
+
+    def _add_key_index(self, table: TableDef, key: tuple[str, ...], tag: str) -> None:
+        name = f"{table.name}_{tag}"
+        if name not in self.indexes:
+            self.add_index(Index(name, table.name, tuple(key), unique=True))
+
+    def add_index(self, index: Index) -> Index:
+        if index.name in self.indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        table = self.table(index.table)
+        for col in index.columns:
+            if not table.has_column(col):
+                raise CatalogError(
+                    f"index column {col!r} not in table {table.name!r}"
+                )
+        self.indexes[index.name] = index
+        table.indexes.append(index)
+        if index.unique and index.columns not in table.unique_keys and \
+                index.columns != table.primary_key:
+            table.unique_keys.append(index.columns)
+        return index
+
+    def register_expensive_function(self, name: str, cost: float = 1000.0) -> None:
+        """Mark *name* as an expensive (procedural / user-defined) function
+        with the given per-call cost in work units."""
+        self.expensive_functions[name.upper()] = cost
+
+    def create_table_from_ddl(self, stmt: ast.CreateTable) -> TableDef:
+        columns = [
+            Column(spec.name, DataType.from_sql(spec.type_name), spec.not_null)
+            for spec in stmt.columns
+        ]
+        primary_key: Optional[tuple[str, ...]] = None
+        unique_keys: list[tuple[str, ...]] = []
+        foreign_keys: list[ForeignKey] = []
+        for spec in stmt.columns:
+            if spec.primary_key:
+                if primary_key is not None:
+                    raise CatalogError(
+                        f"multiple primary keys in table {stmt.name!r}"
+                    )
+                primary_key = (spec.name,)
+            if spec.unique:
+                unique_keys.append((spec.name,))
+            if spec.references:
+                ref_table, ref_column = spec.references
+                foreign_keys.append(
+                    ForeignKey(stmt.name, (spec.name,), ref_table, (ref_column,))
+                )
+        for constraint in stmt.constraints:
+            cols = tuple(constraint.columns)
+            if constraint.kind == "PRIMARY KEY":
+                if primary_key is not None:
+                    raise CatalogError(
+                        f"multiple primary keys in table {stmt.name!r}"
+                    )
+                primary_key = cols
+            elif constraint.kind == "UNIQUE":
+                unique_keys.append(cols)
+            else:
+                foreign_keys.append(
+                    ForeignKey(
+                        stmt.name,
+                        cols,
+                        constraint.ref_table,
+                        tuple(constraint.ref_columns or ()),
+                    )
+                )
+        if primary_key:
+            for col in columns:
+                if col.name in primary_key:
+                    col.not_null = True
+        return self.add_table(
+            TableDef(stmt.name, columns, primary_key, unique_keys, foreign_keys)
+        )
+
+    def create_index_from_ddl(self, stmt: ast.CreateIndex) -> Index:
+        return self.add_index(
+            Index(stmt.name, stmt.table, tuple(stmt.columns), stmt.unique)
+        )
+
+    # -- lookup --------------------------------------------------------------
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def table(self, name: str) -> TableDef:
+        try:
+            return self.tables[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def indexes_on(self, table: str, leading_column: Optional[str] = None) -> list[Index]:
+        """Indexes on *table*, optionally filtered to those whose leading
+        column is *leading_column* (the ones usable for an equality or
+        range probe on that column)."""
+        result = self.table(table).indexes
+        if leading_column is None:
+            return list(result)
+        leading = leading_column.lower()
+        return [ix for ix in result if ix.leading_column == leading]
+
+    def foreign_key_between(
+        self, child_table: str, parent_table: str
+    ) -> Optional[ForeignKey]:
+        """The FK from *child_table* referencing *parent_table*, if any."""
+        for fk in self.table(child_table).foreign_keys:
+            if fk.ref_table == parent_table.lower():
+                return fk
+        return None
+
+    def is_expensive_function(self, name: str) -> bool:
+        return name.upper() in self.expensive_functions
+
+    def function_cost(self, name: str) -> float:
+        return self.expensive_functions.get(name.upper(), 0.0)

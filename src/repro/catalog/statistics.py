@@ -1,0 +1,248 @@
+"""Optimizer statistics: table row counts, per-column NDV/min/max/null
+counts, and equi-height histograms.
+
+``collect_statistics`` plays the role of Oracle's ``ANALYZE`` / dynamic
+sampling: it scans the stored rows and builds exact statistics.  The
+cost-based transformation framework caches expensive statistic
+computations across optimizer invocations (§3.4.4 of the paper); that
+cache lives in :mod:`repro.cbqt.caching` and wraps the functions here.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+#: Number of buckets used for equi-height histograms.
+DEFAULT_HISTOGRAM_BUCKETS = 32
+
+#: Default selectivities used when no statistics are available, following
+#: the classic System-R constants.
+DEFAULT_EQ_SELECTIVITY = 0.01
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.05
+
+
+class Histogram:
+    """Equi-height histogram over the non-null values of one column.
+
+    Stores ``boundaries[0..b]`` where each bucket ``i`` covers
+    ``(boundaries[i], boundaries[i+1]]`` and holds ~1/b of the rows.  Also
+    keeps the exact count of the most common values when the column is
+    low-cardinality ("frequency histogram" mode, as Oracle does for NDV
+    below the bucket count).
+    """
+
+    def __init__(self, values: Sequence[object], buckets: int = DEFAULT_HISTOGRAM_BUCKETS):
+        sorted_values = sorted(values)
+        self.total = len(sorted_values)
+        self.frequency: Optional[dict[object, int]] = None
+        self.boundaries: list[object] = []
+        if self.total == 0:
+            return
+        distinct = sorted(set(sorted_values))
+        if len(distinct) <= buckets:
+            counts: dict[object, int] = {}
+            for value in sorted_values:
+                counts[value] = counts.get(value, 0) + 1
+            self.frequency = counts
+            self.boundaries = [distinct[0], distinct[-1]]
+            return
+        self.boundaries = [sorted_values[0]]
+        for i in range(1, buckets + 1):
+            idx = min(self.total - 1, (i * self.total) // buckets - 1)
+            self.boundaries.append(sorted_values[idx])
+
+    @property
+    def is_frequency(self) -> bool:
+        return self.frequency is not None
+
+    def selectivity_eq(self, value: object, ndv: int) -> float:
+        """Fraction of non-null rows equal to *value*."""
+        if self.total == 0:
+            return 0.0
+        if self.frequency is not None:
+            return self.frequency.get(value, 0) / self.total
+        lo, hi = self.boundaries[0], self.boundaries[-1]
+        try:
+            out_of_range = value < lo or value > hi  # type: ignore[operator]
+        except TypeError:
+            return 1.0 / max(ndv, 1)
+        if out_of_range:
+            return 0.0
+        return 1.0 / max(ndv, 1)
+
+    def selectivity_range(
+        self,
+        low: Optional[object],
+        high: Optional[object],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> float:
+        """Fraction of non-null rows in the interval [low, high]."""
+        if self.total == 0:
+            return 0.0
+        if self.frequency is not None:
+            count = 0
+            for value, n in self.frequency.items():
+                if not _within(value, low, high, low_inclusive, high_inclusive):
+                    continue
+                count += n
+            return count / self.total
+        lo_frac = self._cumulative(low) if low is not None else 0.0
+        hi_frac = self._cumulative(high) if high is not None else 1.0
+        return max(0.0, min(1.0, hi_frac - lo_frac))
+
+    def _cumulative(self, value: object) -> float:
+        """Approximate fraction of rows with column value <= *value*.
+
+        Duplicate boundary values (heavy skew: one value filling several
+        buckets) are handled by locating the *last* boundary <= value, so
+        the popular value's full bucket span counts."""
+        bounds = self.boundaries
+        if not bounds:
+            return 0.0
+        try:
+            if value < bounds[0]:  # type: ignore[operator]
+                return 0.0
+            if value >= bounds[-1]:  # type: ignore[operator]
+                return 1.0
+        except TypeError:
+            return 0.5
+        idx = bisect.bisect_right(bounds, value) - 1
+        idx = max(0, min(idx, len(bounds) - 2))
+        lo, hi = bounds[idx], bounds[idx + 1]
+        bucket_fraction = 1.0 / (len(bounds) - 1)
+        base = idx * bucket_fraction
+        if value == lo:
+            within = 0.0
+        elif isinstance(lo, (int, float)) and isinstance(hi, (int, float)) \
+                and hi > lo:
+            within = (float(value) - float(lo)) / (float(hi) - float(lo))
+        else:
+            within = 0.5
+        return base + bucket_fraction * max(0.0, min(1.0, within))
+
+
+def _within(value, low, high, low_inclusive, high_inclusive) -> bool:
+    try:
+        if low is not None:
+            if low_inclusive and value < low:
+                return False
+            if not low_inclusive and value <= low:
+                return False
+        if high is not None:
+            if high_inclusive and value > high:
+                return False
+            if not high_inclusive and value >= high:
+                return False
+    except TypeError:
+        return False
+    return True
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column."""
+
+    num_distinct: int = 0
+    num_nulls: int = 0
+    min_value: Optional[object] = None
+    max_value: Optional[object] = None
+    histogram: Optional[Histogram] = None
+
+    def null_fraction(self, row_count: int) -> float:
+        if row_count <= 0:
+            return 0.0
+        return self.num_nulls / row_count
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table."""
+
+    row_count: int = 0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+    #: True when produced by dynamic sampling rather than ANALYZE; the
+    #: CBQT caching layer keys on this (§3.4.4).
+    sampled: bool = False
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name.lower())
+
+
+class StatisticsRegistry:
+    """Holds per-table statistics; the optimizer reads through this."""
+
+    def __init__(self) -> None:
+        self._stats: dict[str, TableStats] = {}
+
+    def set(self, table: str, stats: TableStats) -> None:
+        self._stats[table.lower()] = stats
+
+    def get(self, table: str) -> Optional[TableStats]:
+        return self._stats.get(table.lower())
+
+    def drop(self, table: str) -> None:
+        self._stats.pop(table.lower(), None)
+
+    def clear(self) -> None:
+        self._stats.clear()
+
+
+def collect_statistics(
+    rows: Iterable[dict],
+    column_names: Sequence[str],
+    histogram_buckets: int = DEFAULT_HISTOGRAM_BUCKETS,
+    with_histograms: bool = True,
+) -> TableStats:
+    """Compute exact statistics from stored rows (the ANALYZE path).
+
+    *rows* is an iterable of column-name -> value dicts.
+    """
+    materialised = list(rows)
+    stats = TableStats(row_count=len(materialised))
+    for name in column_names:
+        values = [row[name] for row in materialised]
+        non_null = [v for v in values if v is not None]
+        col = ColumnStats(
+            num_distinct=len(set(non_null)),
+            num_nulls=len(values) - len(non_null),
+            min_value=min(non_null) if non_null else None,
+            max_value=max(non_null) if non_null else None,
+        )
+        if with_histograms and non_null:
+            col.histogram = Histogram(non_null, histogram_buckets)
+        stats.columns[name] = col
+    return stats
+
+
+def sample_statistics(
+    rows: Sequence[dict],
+    column_names: Sequence[str],
+    sample_fraction: float = 0.1,
+    seed: int = 42,
+) -> TableStats:
+    """Dynamic sampling: statistics from a pseudo-random sample of rows.
+
+    Used for tables with no collected statistics; this is the "expensive
+    computation" the CBQT caching layer memoises (§3.4.4).  NDV is scaled
+    up from the sample with a first-order estimator.
+    """
+    import random
+
+    rng = random.Random(seed)
+    n = len(rows)
+    k = max(1, int(n * sample_fraction)) if n else 0
+    sample = rng.sample(list(rows), k) if n else []
+    stats = collect_statistics(sample, column_names, with_histograms=True)
+    scale = (n / k) if k else 0.0
+    stats.row_count = n
+    stats.sampled = True
+    for col in stats.columns.values():
+        col.num_nulls = int(col.num_nulls * scale)
+        if scale > 1.0 and col.num_distinct:
+            # Scale NDV, capped by the table cardinality.
+            col.num_distinct = min(n, int(col.num_distinct * (scale ** 0.5)))
+    return stats

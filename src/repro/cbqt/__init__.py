@@ -1,0 +1,37 @@
+"""Cost-based query transformation framework (§3 of the paper)."""
+
+from .caching import DynamicSamplingCache
+from .framework import (
+    Alternative,
+    CbqtConfig,
+    CbqtFramework,
+    OptimizationReport,
+    TransformationDecision,
+    TransformObject,
+)
+from .search import (
+    STRATEGIES,
+    SearchResult,
+    choose_strategy,
+    exhaustive_search,
+    iterative_search,
+    linear_search,
+    two_pass_search,
+)
+
+__all__ = [
+    "Alternative",
+    "CbqtConfig",
+    "CbqtFramework",
+    "DynamicSamplingCache",
+    "OptimizationReport",
+    "TransformationDecision",
+    "TransformObject",
+    "STRATEGIES",
+    "SearchResult",
+    "choose_strategy",
+    "exhaustive_search",
+    "iterative_search",
+    "linear_search",
+    "two_pass_search",
+]

@@ -1,0 +1,67 @@
+"""Caching of expensive optimizer computations (§3.4.4).
+
+Dynamic sampling — estimating single-table cardinalities for tables with
+no collected statistics — is expensive and its result survives
+transformations that do not alter the table's single-table predicates.
+The cache memoises it per table across every optimizer invocation made
+while costing transformation states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..catalog.schema import Catalog
+from ..catalog.statistics import TableStats, sample_statistics
+from ..engine.tables import Storage
+
+
+@dataclass
+class SamplingCacheStats:
+    hits: int = 0
+    misses: int = 0
+
+
+class DynamicSamplingCache:
+    """Callable ``table_name -> TableStats`` backed by dynamic sampling
+    over stored rows, memoised per table."""
+
+    def __init__(
+        self,
+        storage: Storage,
+        catalog: Catalog,
+        sample_fraction: float = 0.1,
+        seed: int = 42,
+    ):
+        self._storage = storage
+        self._catalog = catalog
+        self._fraction = sample_fraction
+        self._seed = seed
+        self._cache: dict[str, TableStats] = {}
+        self.stats = SamplingCacheStats()
+
+    def __call__(self, table_name: str) -> Optional[TableStats]:
+        name = table_name.lower()
+        cached = self._cache.get(name)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        if not self._storage.has(name):
+            return None
+        self.stats.misses += 1
+        data = self._storage.get(name)
+        stats = sample_statistics(
+            data.rows,
+            self._catalog.table(name).column_names,
+            self._fraction,
+            self._seed,
+        )
+        self._cache[name] = stats
+        return stats
+
+    def invalidate(self, table_name: Optional[str] = None) -> None:
+        if table_name is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(table_name.lower(), None)

@@ -1,0 +1,515 @@
+"""The cost-based query transformation framework (§3).
+
+Drives the whole optimization of one query:
+
+1. apply the heuristic (imperative) transformations to a fixpoint;
+2. for each cost-based transformation, in the paper's sequential order:
+   find its objects, build each object's *alternative list* (including
+   interleaved and juxtaposed combinations, §3.3), pick a search strategy
+   from the state-space size (§3.2), and search — each state is costed by
+   deep-copying the query tree, applying the state's alternatives, and
+   invoking the physical optimizer with cost cut-off (§3.4.1) and cost
+   annotation reuse (§3.4.2);
+3. transfer the winning state's directives onto the original tree and
+   re-run the cheap heuristic rules (a transformation can synthesise
+   constructs that re-enable them, §3.1);
+4. produce the final plan and an :class:`OptimizationReport`.
+
+With ``enabled=False`` the framework reproduces the paper's *heuristic
+mode* (§4.1): subquery unnesting follows the pre-10g rule, group-by view
+merging is applied whenever legal, JPPD when an index motivates it, and
+the never-heuristic transformations (group-by placement, predicate
+pullup, set-op conversion, OR expansion, join factorization) are skipped.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..catalog.schema import Catalog
+from ..errors import OptimizerError, TransformError
+from ..optimizer.physical import CostBudgetExceeded, PhysicalOptimizer
+from ..optimizer.plans import Plan
+from ..qtree.blocks import QueryBlock, QueryNode
+from ..sql import ast
+from ..transform import apply_heuristic_phase
+from ..transform.base import TargetRef, Transformation, find_block
+from ..transform.costbased import (
+    GroupByViewMerging,
+    JoinPredicatePushdown,
+    UnnestSubqueryToView,
+)
+from ..transform.costbased.unnest_view import pre10g_heuristic_says_unnest
+from ..transform.pipeline import build_cost_based_transformations
+from .search import STRATEGIES, SearchResult, choose_strategy
+
+ApplyFn = Callable[[QueryNode], QueryNode]
+
+
+@dataclass
+class CbqtConfig:
+    """Knobs of the cost-based transformation framework."""
+
+    #: master switch: False reproduces pre-10g heuristic mode
+    enabled: bool = True
+    #: transformation names to disable entirely (both modes)
+    disabled_transformations: frozenset[str] = frozenset()
+    #: force one search strategy for every transformation (None = auto)
+    search_strategy: Optional[str] = None
+    exhaustive_threshold: int = 4
+    linear_threshold: int = 10
+    two_pass_total_threshold: int = 16
+    iterative_max_states: int = 32
+    iterative_restarts: int = 4
+    #: abort costing a state once it exceeds the incumbent best (§3.4.1)
+    cost_cutoff: bool = True
+    #: interleave unnesting with view merging (§3.3.1)
+    interleaving: bool = True
+    #: juxtapose view merging with JPPD (§3.3.2)
+    juxtaposition: bool = True
+    seed: int = 0
+
+
+@dataclass
+class Alternative:
+    """One way to transform an object (index 0 is always 'untransformed')."""
+
+    label: str
+    apply: Optional[ApplyFn]  # None for the untransformed alternative
+
+
+@dataclass
+class TransformObject:
+    """One object a transformation applies to, with its alternatives."""
+
+    order_key: tuple
+    alternatives: list[Alternative]
+
+
+@dataclass
+class TransformationDecision:
+    """Outcome of one cost-based transformation's state-space search."""
+
+    transformation: str
+    n_objects: int
+    strategy: str
+    states_evaluated: int
+    best_state: tuple[int, ...]
+    best_cost: float
+    baseline_cost: float
+    applied_labels: list[str] = field(default_factory=list)
+    #: full search trace: state vector -> estimated cost (inf = aborted
+    #: by the cost cut-off or an inapplicable alternative combination)
+    state_costs: dict[tuple[int, ...], float] = field(default_factory=dict)
+
+    @property
+    def changed_query(self) -> bool:
+        return any(self.best_state)
+
+
+@dataclass
+class OptimizationReport:
+    """Everything the facade exposes about one optimization."""
+
+    transformed_sql: str = ""
+    decisions: list[TransformationDecision] = field(default_factory=list)
+    total_states: int = 0
+    heuristic_mode: bool = False
+    elapsed_seconds: float = 0.0
+    final_cost: float = 0.0
+
+    def decision_for(self, name: str) -> Optional[TransformationDecision]:
+        for decision in self.decisions:
+            if decision.transformation == name:
+                return decision
+        return None
+
+
+class CbqtFramework:
+    """One instance per Database; stateless across queries apart from the
+    shared physical optimizer (whose annotation store the framework clears
+    per query, keeping it only across states — §3.4.3)."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        physical: PhysicalOptimizer,
+        config: Optional[CbqtConfig] = None,
+    ):
+        self._catalog = catalog
+        self._physical = physical
+        self.config = config or CbqtConfig()
+
+    # -- public ---------------------------------------------------------------
+
+    def optimize(self, root: QueryNode) -> tuple[QueryNode, Plan, OptimizationReport]:
+        config = self.config
+        report = OptimizationReport(heuristic_mode=not config.enabled)
+        started = time.perf_counter()
+        self._physical.annotations.clear()
+
+        root = self._heuristic_phase(root)
+
+        transformations = [
+            t for t in build_cost_based_transformations(self._catalog)
+            if t.name not in config.disabled_transformations
+        ]
+        if config.enabled:
+            total_objects = sum(
+                len(t.find_targets(root)) for t in transformations
+            )
+            for transformation in transformations:
+                root = self._run_cost_based(
+                    transformation, root, total_objects, report
+                )
+        else:
+            root = self._heuristic_fallbacks(root, transformations, report)
+
+        plan = self._physical.optimize(root)
+        report.transformed_sql = root.to_sql()
+        report.final_cost = plan.cost
+        report.elapsed_seconds = time.perf_counter() - started
+        return root, plan, report
+
+    # -- phases ---------------------------------------------------------------
+
+    def _heuristic_phase(self, root: QueryNode) -> QueryNode:
+        enabled = None
+        if self.config.disabled_transformations:
+            from ..transform.pipeline import HEURISTIC_ORDER
+
+            enabled = {
+                cls.name for cls in HEURISTIC_ORDER
+                if cls.name not in self.config.disabled_transformations
+            }
+        return apply_heuristic_phase(root, self._catalog, enabled)
+
+    def _run_cost_based(
+        self,
+        transformation: Transformation,
+        root: QueryNode,
+        total_objects: int,
+        report: OptimizationReport,
+    ) -> QueryNode:
+        objects = self._build_objects(transformation, root)
+        if not objects:
+            return root
+
+        config = self.config
+        strategy_name = config.search_strategy or choose_strategy(
+            len(objects),
+            total_objects,
+            config.exhaustive_threshold,
+            config.linear_threshold,
+            config.two_pass_total_threshold,
+        )
+        result = self._search(strategy_name, objects, root)
+
+        decision = TransformationDecision(
+            transformation=transformation.name,
+            n_objects=len(objects),
+            strategy=strategy_name,
+            states_evaluated=result.states_evaluated,
+            best_state=result.best_state,
+            best_cost=result.best_cost,
+            baseline_cost=result.costs.get(
+                tuple(0 for _ in objects), math.inf
+            ),
+            state_costs=dict(result.costs),
+        )
+        report.decisions.append(decision)
+        report.total_states += result.states_evaluated
+
+        if any(result.best_state):
+            root = self._apply_state(root, objects, result.best_state)
+            decision.applied_labels = [
+                objects[i].alternatives[alt].label
+                for i, alt in enumerate(result.best_state)
+                if alt
+            ]
+            # A transformation may synthesise constructs that re-enable
+            # the imperative rules (§3.1).
+            root = self._heuristic_phase(root)
+        return root
+
+    def _search(
+        self, strategy_name: str, objects: list[TransformObject], root: QueryNode
+    ) -> SearchResult:
+        config = self.config
+        best_so_far = [math.inf]
+
+        def cost_fn(state: tuple[int, ...]) -> float:
+            budget = (
+                best_so_far[0]
+                if config.cost_cutoff and math.isfinite(best_so_far[0])
+                else None
+            )
+            try:
+                candidate = self._apply_state(root.clone(), objects, state)
+                plan = self._physical.optimize(candidate, budget)
+            except (TransformError, CostBudgetExceeded, OptimizerError):
+                return math.inf
+            if plan.cost < best_so_far[0]:
+                best_so_far[0] = plan.cost
+            return plan.cost
+
+        alternatives = [len(obj.alternatives) for obj in objects]
+        strategy = STRATEGIES[strategy_name]
+        if strategy_name == "iterative":
+            return strategy(
+                alternatives,
+                cost_fn,
+                max_states=config.iterative_max_states,
+                restarts=config.iterative_restarts,
+                seed=config.seed,
+            )
+        return strategy(alternatives, cost_fn)
+
+    @staticmethod
+    def _apply_state(
+        root: QueryNode, objects: list[TransformObject], state: tuple[int, ...]
+    ) -> QueryNode:
+        chosen = [
+            (obj, alt) for obj, alt in zip(objects, state) if alt
+        ]
+        # Apply within a block in descending conjunct order so earlier
+        # deletions do not shift later targets.
+        chosen.sort(key=lambda pair: pair[0].order_key, reverse=True)
+        for obj, alt in chosen:
+            apply_fn = obj.alternatives[alt].apply
+            assert apply_fn is not None
+            root = apply_fn(root)
+        return root
+
+    # -- object/alternative construction -----------------------------------------
+
+    def _build_objects(
+        self, transformation: Transformation, root: QueryNode
+    ) -> list[TransformObject]:
+        targets = transformation.find_targets(root)
+        objects = []
+        for target in targets:
+            alternatives = [Alternative("none", None)]
+            alternatives.extend(
+                self._alternatives_for(transformation, target, root)
+            )
+            if len(alternatives) > 1:
+                objects.append(
+                    TransformObject(_order_key(target), alternatives)
+                )
+        return objects
+
+    def _alternatives_for(
+        self, transformation: Transformation, target: TargetRef, root: QueryNode
+    ) -> list[Alternative]:
+        base = Alternative(
+            f"{transformation.name}({target.describe()})",
+            lambda node, t=transformation, tg=target: t.apply(node, tg),
+        )
+        alternatives = [base]
+
+        disabled = self.config.disabled_transformations
+        if (
+            self.config.interleaving
+            and isinstance(transformation, UnnestSubqueryToView)
+            and "groupby_merge" not in disabled
+            and transformation.target_kind(root, target) == "aggregate"
+        ):
+            interleaved = self._interleaved_unnest_merge(transformation, target)
+            if interleaved is not None:
+                alternatives.append(interleaved)
+
+        if (
+            self.config.juxtaposition
+            and isinstance(transformation, GroupByViewMerging)
+            and "jppd" not in disabled
+        ):
+            juxtaposed = self._juxtaposed_jppd(target, root)
+            if juxtaposed is not None:
+                alternatives.append(juxtaposed)
+
+        return alternatives
+
+    def _interleaved_unnest_merge(
+        self, unnest: UnnestSubqueryToView, target: TargetRef
+    ) -> Optional[Alternative]:
+        """Unnesting followed by merging the generated view (§3.3.1):
+        even when Q10 costs more than Q1, Q11 may beat both."""
+        merger = GroupByViewMerging(self._catalog)
+
+        def apply(node: QueryNode) -> QueryNode:
+            before = {
+                (t.block, t.key) for t in merger.find_targets(node)
+            }
+            node = unnest.apply(node, target)
+            fresh = [
+                t for t in merger.find_targets(node)
+                if (t.block, t.key) not in before and t.block == target.block
+            ]
+            if not fresh:
+                raise TransformError(
+                    "interleaved merge: generated view is not mergeable"
+                )
+            for t in fresh:
+                node = merger.apply(node, t)
+            return node
+
+        return Alternative(
+            f"unnest_view+groupby_merge({target.describe()})", apply
+        )
+
+    def _juxtaposed_jppd(
+        self, target: TargetRef, root: QueryNode
+    ) -> Optional[Alternative]:
+        """View merging juxtaposed with JPPD on the same view (§3.3.2):
+        the search compares none / merge / pushdown in one state space."""
+        jppd = JoinPredicatePushdown(self._catalog)
+        applicable = any(
+            t.block == target.block and t.key == target.key
+            for t in jppd.find_targets(root)
+        )
+        if not applicable:
+            return None
+        return Alternative(
+            f"jppd({target.describe()})",
+            lambda node, t=jppd, tg=target: t.apply(node, tg),
+        )
+
+    # -- heuristic mode (§4.1) -------------------------------------------------------
+
+    def _heuristic_fallbacks(
+        self,
+        root: QueryNode,
+        transformations: list[Transformation],
+        report: OptimizationReport,
+    ) -> QueryNode:
+        for transformation in transformations:
+            if isinstance(transformation, UnnestSubqueryToView):
+                root = self._heuristic_unnest(transformation, root, report)
+            elif isinstance(transformation, GroupByViewMerging):
+                root = self._apply_all_targets(transformation, root, report)
+            elif isinstance(transformation, JoinPredicatePushdown):
+                root = self._heuristic_jppd(transformation, root, report)
+            # group-by placement, predicate pullup, set-op conversion,
+            # OR expansion and join factorization have no heuristic form.
+        return root
+
+    def _heuristic_unnest(
+        self,
+        transformation: UnnestSubqueryToView,
+        root: QueryNode,
+        report: OptimizationReport,
+    ) -> QueryNode:
+        applied = []
+        for target in reversed(transformation.find_targets(root)):
+            block = find_block(root, target.block)
+            if block is None:
+                continue
+            conjunct = block.where_conjuncts[int(target.key)]  # type: ignore[arg-type]
+            sub_block = _subquery_block_of(conjunct)
+            if sub_block is None:
+                continue
+            if pre10g_heuristic_says_unnest(block, sub_block, self._catalog):
+                root = transformation.apply(root, target)
+                applied.append(target.describe())
+        if applied:
+            report.decisions.append(
+                TransformationDecision(
+                    transformation.name, len(applied), "heuristic",
+                    1, (1,) * len(applied), math.nan, math.nan,
+                    applied,
+                )
+            )
+            root = self._heuristic_phase(root)
+        return root
+
+    def _apply_all_targets(
+        self,
+        transformation: Transformation,
+        root: QueryNode,
+        report: OptimizationReport,
+    ) -> QueryNode:
+        applied = []
+        for _ in range(16):
+            targets = transformation.find_targets(root)
+            if not targets:
+                break
+            root = transformation.apply(root, targets[0])
+            applied.append(targets[0].describe())
+        if applied:
+            report.decisions.append(
+                TransformationDecision(
+                    transformation.name, len(applied), "heuristic",
+                    1, (1,) * len(applied), math.nan, math.nan, applied,
+                )
+            )
+            root = self._heuristic_phase(root)
+        return root
+
+    def _heuristic_jppd(
+        self,
+        transformation: JoinPredicatePushdown,
+        root: QueryNode,
+        report: OptimizationReport,
+    ) -> QueryNode:
+        """Heuristic JPPD: push only when an index on an underlying base
+        column would turn the lateral join into an index NL probe."""
+        applied = []
+        for target in transformation.find_targets(root):
+            block = find_block(root, target.block)
+            if block is None:
+                continue
+            item = block.from_item(str(target.key))
+            if not self._jppd_index_motivated(item):
+                continue
+            root = transformation.apply(root, target)
+            applied.append(target.describe())
+        if applied:
+            report.decisions.append(
+                TransformationDecision(
+                    transformation.name, len(applied), "heuristic",
+                    1, (1,) * len(applied), math.nan, math.nan, applied,
+                )
+            )
+        return root
+
+    def _jppd_index_motivated(self, item) -> bool:
+        node = item.subquery
+        for block in node.iter_blocks():
+            if not isinstance(block, QueryBlock):
+                continue
+            for sel in block.select_items:
+                expr = sel.expr
+                if not isinstance(expr, ast.ColumnRef) or expr.qualifier is None:
+                    continue
+                try:
+                    inner_item = block.from_item(expr.qualifier)
+                except TransformError:
+                    continue
+                if not inner_item.is_base_table:
+                    continue
+                if self._catalog.indexes_on(inner_item.table_name, expr.name):
+                    return True
+        return False
+
+
+def _subquery_block_of(conjunct: ast.Expr) -> Optional[QueryBlock]:
+    for node in conjunct.walk():
+        if isinstance(node, ast.SubqueryExpr) and isinstance(
+            node.query, QueryBlock
+        ):
+            return node.query
+    return None
+
+
+def _order_key(target: TargetRef) -> tuple:
+    key = target.key
+    if isinstance(key, int):
+        return (target.block, target.kind, key)
+    if isinstance(key, tuple):
+        numeric = key[1] if len(key) > 1 and isinstance(key[1], int) else 0
+        return (target.block, target.kind, numeric)
+    return (target.block, target.kind, 0)

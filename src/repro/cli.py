@@ -1,0 +1,298 @@
+"""Interactive SQL shell for the repro engine.
+
+Run with ``python -m repro`` (optionally passing a SQL script to execute
+first).  Statements end with ``;``.  Besides SQL (CREATE TABLE / CREATE
+INDEX / SELECT), the shell understands meta commands:
+
+.help                 show this help
+.schema [table]       list tables / describe one table
+.analyze [table]      collect optimizer statistics
+.explain on|off       print plan + transformed SQL with each query
+.decisions on|off     print CBQT decisions with each query
+.mode cbqt|heuristic  switch optimizer mode (§4.1's experiment switch)
+.strategy NAME|auto   force a state-space search strategy (§3.2)
+.disable NAME         disable a transformation (e.g. jppd, unnest_view)
+.enable NAME          re-enable a transformation
+.timing on|off        print optimization/execution timings
+.load FILE            run statements from a SQL script
+.quit                 exit
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import replace
+from typing import Optional, TextIO
+
+from . import Database, OptimizerConfig
+from .cbqt.framework import CbqtConfig
+from .errors import ReproError
+
+PROMPT = "repro> "
+CONTINUATION = "   ...> "
+
+
+class Shell:
+    """One interactive session.  Separated from I/O for testability:
+    ``run_line`` consumes input, output goes through ``echo``."""
+
+    def __init__(self, out: Optional[TextIO] = None):
+        self.db = Database()
+        self.out = out or sys.stdout
+        self.show_explain = False
+        self.show_decisions = False
+        self.show_timing = False
+        self._buffer: list[str] = []
+        self.done = False
+
+    # -- plumbing ----------------------------------------------------------
+
+    def echo(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    @property
+    def needs_more(self) -> bool:
+        return bool(self._buffer)
+
+    # -- input handling ------------------------------------------------------
+
+    def run_line(self, line: str) -> None:
+        """Feed one input line; executes when a statement completes."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("."):
+            self._run_meta(stripped)
+            return
+        if not stripped and not self._buffer:
+            return
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            statement = "\n".join(self._buffer).strip().rstrip(";")
+            self._buffer.clear()
+            if statement:
+                self._run_statement(statement)
+
+    def run_script(self, text: str) -> None:
+        for line in text.splitlines():
+            self.run_line(line)
+        if self._buffer:  # permit a missing trailing semicolon
+            statement = "\n".join(self._buffer).strip().rstrip(";")
+            self._buffer.clear()
+            if statement and not statement.startswith("."):
+                self._run_statement(statement)
+
+    # -- statements ------------------------------------------------------------
+
+    def _run_statement(self, statement: str) -> None:
+        try:
+            head = statement.lstrip().split(None, 1)[0].upper()
+            if head == "CREATE":
+                self.db.execute_ddl(statement)
+                self.echo("ok")
+            elif head == "SELECT" or statement.lstrip().startswith("("):
+                self._run_query(statement)
+            elif head == "INSERT":
+                self.echo("error: use .load with generated data or the "
+                          "Python API to insert rows")
+            else:
+                self.echo(f"error: unsupported statement {head!r}")
+        except ReproError as exc:
+            self.echo(f"error: {exc}")
+
+    def _run_query(self, sql: str) -> None:
+        result = self.db.execute(sql)
+        if self.show_explain:
+            self.echo("-- transformed: " + result.report.transformed_sql)
+            self.echo(result.plan.describe())
+        if self.show_decisions:
+            for decision in result.report.decisions:
+                self.echo(
+                    f"-- {decision.transformation}: strategy="
+                    f"{decision.strategy} states={decision.states_evaluated} "
+                    f"applied={decision.applied_labels or '-'}"
+                )
+        self._print_rows(result.columns, result.rows)
+        if self.show_timing:
+            self.echo(
+                f"-- optimize {result.optimize_seconds * 1000:.1f} ms, "
+                f"execute {result.execute_seconds * 1000:.1f} ms, "
+                f"{result.work_units:,.0f} work units, "
+                f"{result.report.total_states} states"
+            )
+
+    def _print_rows(self, columns: list[str], rows: list[tuple],
+                    limit: int = 50) -> None:
+        widths = [
+            max(len(str(c)), *(len(_fmt(r[i])) for r in rows[:limit]))
+            if rows else len(str(c))
+            for i, c in enumerate(columns)
+        ]
+        header = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+        self.echo(header)
+        self.echo("-+-".join("-" * w for w in widths))
+        for row in rows[:limit]:
+            self.echo(" | ".join(
+                _fmt(v).ljust(w) for v, w in zip(row, widths)
+            ))
+        suffix = f" (showing {limit})" if len(rows) > limit else ""
+        self.echo(f"({len(rows)} rows{suffix})")
+
+    # -- meta commands ------------------------------------------------------------
+
+    def _run_meta(self, command: str) -> None:
+        parts = command.split()
+        name, args = parts[0], parts[1:]
+        handler = getattr(self, f"_meta_{name[1:]}", None)
+        if handler is None:
+            self.echo(f"unknown command {name}; try .help")
+            return
+        try:
+            handler(args)
+        except ReproError as exc:
+            self.echo(f"error: {exc}")
+
+    def _meta_help(self, _args) -> None:
+        self.echo(__doc__.split("meta commands:", 1)[-1].strip())
+
+    def _meta_quit(self, _args) -> None:
+        self.done = True
+
+    def _meta_schema(self, args) -> None:
+        if args:
+            table = self.db.catalog.table(args[0])
+            for column in table.columns.values():
+                flags = " NOT NULL" if column.not_null else ""
+                self.echo(f"  {column.name} {column.data_type.name}{flags}")
+            if table.primary_key:
+                self.echo(f"  PRIMARY KEY ({', '.join(table.primary_key)})")
+            for index in table.indexes:
+                unique = "UNIQUE " if index.unique else ""
+                self.echo(
+                    f"  {unique}INDEX {index.name} ({', '.join(index.columns)})"
+                )
+            return
+        for name in sorted(self.db.catalog.tables):
+            rows = (
+                self.db.storage.get(name).row_count
+                if self.db.storage.has(name) else 0
+            )
+            self.echo(f"  {name} ({rows} rows)")
+
+    def _meta_analyze(self, args) -> None:
+        self.db.analyze(args[0] if args else None)
+        self.echo("statistics collected")
+
+    def _meta_explain(self, args) -> None:
+        self.show_explain = _on_off(args)
+        self.echo(f"explain {'on' if self.show_explain else 'off'}")
+
+    def _meta_decisions(self, args) -> None:
+        self.show_decisions = _on_off(args)
+        self.echo(f"decisions {'on' if self.show_decisions else 'off'}")
+
+    def _meta_timing(self, args) -> None:
+        self.show_timing = _on_off(args)
+        self.echo(f"timing {'on' if self.show_timing else 'off'}")
+
+    def _meta_mode(self, args) -> None:
+        mode = args[0].lower() if args else ""
+        if mode == "heuristic":
+            disabled = self.db.config.cbqt.disabled_transformations
+            self.db.config = OptimizerConfig(
+                cbqt=CbqtConfig(
+                    enabled=False, disabled_transformations=disabled
+                )
+            )
+        elif mode == "cbqt":
+            disabled = self.db.config.cbqt.disabled_transformations
+            self.db.config = OptimizerConfig(
+                cbqt=CbqtConfig(disabled_transformations=disabled)
+            )
+        else:
+            self.echo("usage: .mode cbqt|heuristic")
+            return
+        self.echo(f"optimizer mode: {mode}")
+
+    def _meta_strategy(self, args) -> None:
+        strategy = args[0].lower() if args else "auto"
+        if strategy == "auto":
+            self.db.config = self.db.config.with_strategy(None)
+        elif strategy in ("exhaustive", "linear", "iterative", "two_pass"):
+            self.db.config = self.db.config.with_strategy(strategy)
+        else:
+            self.echo(
+                "usage: .strategy exhaustive|linear|iterative|two_pass|auto"
+            )
+            return
+        self.echo(f"search strategy: {strategy}")
+
+    def _meta_disable(self, args) -> None:
+        if not args:
+            self.echo("usage: .disable TRANSFORMATION")
+            return
+        self.db.config = self.db.config.without(args[0])
+        disabled = sorted(self.db.config.cbqt.disabled_transformations)
+        self.echo(f"disabled: {', '.join(disabled)}")
+
+    def _meta_enable(self, args) -> None:
+        if not args:
+            self.echo("usage: .enable TRANSFORMATION")
+            return
+        remaining = self.db.config.cbqt.disabled_transformations - {args[0]}
+        self.db.config = replace(
+            self.db.config,
+            cbqt=replace(
+                self.db.config.cbqt,
+                disabled_transformations=frozenset(remaining),
+            ),
+        )
+        self.echo(f"disabled: {', '.join(sorted(remaining)) or '(none)'}")
+
+    def _meta_load(self, args) -> None:
+        if not args:
+            self.echo("usage: .load FILE")
+            return
+        try:
+            with open(args[0]) as handle:
+                self.run_script(handle.read())
+        except OSError as exc:
+            self.echo(f"error: {exc}")
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _on_off(args) -> bool:
+    return bool(args) and args[0].lower() in ("on", "1", "true", "yes")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    shell = Shell()
+    for path in argv:
+        with open(path) as handle:
+            shell.run_script(handle.read())
+    if not sys.stdin.isatty():
+        shell.run_script(sys.stdin.read())
+        return 0
+    shell.echo("repro shell — cost-based query transformation engine")
+    shell.echo("type .help for commands, SQL statements end with ';'")
+    while not shell.done:
+        try:
+            prompt = CONTINUATION if shell.needs_more else PROMPT
+            line = input(prompt)
+        except EOFError:
+            break
+        except KeyboardInterrupt:
+            shell.echo("")
+            continue
+        shell.run_line(line)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,273 @@
+"""Public facade: an embedded relational database whose optimizer
+implements the paper's cost-based query transformation framework.
+
+Typical use::
+
+    from repro import Database
+
+    db = Database()
+    db.execute_ddl("CREATE TABLE employees (emp_id INT PRIMARY KEY, ...)")
+    db.insert("employees", rows)
+    db.analyze()
+
+    result = db.execute("SELECT ...")       # optimize + run
+    print(db.explain("SELECT ..."))         # plan + transformed SQL
+    report = db.optimize("SELECT ...").report  # CBQT decisions & states
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional
+
+from .catalog.schema import Catalog, Index, TableDef
+from .catalog.statistics import StatisticsRegistry, collect_statistics
+from .cbqt.caching import DynamicSamplingCache
+from .cbqt.framework import CbqtConfig, CbqtFramework, OptimizationReport
+from .engine.executor import ExecStats, Executor
+from .engine.expressions import FunctionRegistry
+from .engine.reference import ReferenceEvaluator
+from .engine.tables import Storage
+from .errors import CatalogError
+from .optimizer.annotations import AnnotationStore
+from .optimizer.costmodel import DEFAULT_COST_MODEL, CostModel
+from .optimizer.physical import OptimizerCounters, PhysicalOptimizer
+from .optimizer.plans import Plan
+from .qtree import build_query_tree
+from .qtree.blocks import QueryNode
+from .sql import ast, parse_query, parse_statement
+
+
+@dataclass
+class OptimizerConfig:
+    """All optimizer knobs; the evaluation section's switches map 1:1.
+
+    * Figure 2: ``OptimizerConfig()`` vs ``OptimizerConfig.heuristic_mode()``
+    * Figure 3: default vs ``OptimizerConfig.without("unnest_view",
+      "subquery_merge")``
+    * Figure 4: default vs ``OptimizerConfig.without("jppd")``
+    * Table 2: ``replace(config, cbqt=replace(config.cbqt,
+      search_strategy="linear"))`` etc.
+    """
+
+    cbqt: CbqtConfig = field(default_factory=CbqtConfig)
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    #: reuse of query sub-tree cost annotations (§3.4.2)
+    annotation_reuse: bool = True
+    #: left-deep DP up to this many from-items, greedy beyond
+    dp_threshold: int = 8
+    #: dynamic sampling for tables without statistics (§3.4.4)
+    dynamic_sampling: bool = True
+
+    @staticmethod
+    def heuristic_mode() -> "OptimizerConfig":
+        """Pre-10g behaviour: transformations by heuristic rules only."""
+        return OptimizerConfig(cbqt=CbqtConfig(enabled=False))
+
+    def without(self, *names: str) -> "OptimizerConfig":
+        """Copy with the named transformations disabled entirely."""
+        disabled = self.cbqt.disabled_transformations | frozenset(names)
+        return replace(
+            self, cbqt=replace(self.cbqt, disabled_transformations=disabled)
+        )
+
+    def with_strategy(self, strategy: Optional[str]) -> "OptimizerConfig":
+        """Copy with a forced state-space search strategy."""
+        return replace(self, cbqt=replace(self.cbqt, search_strategy=strategy))
+
+
+@dataclass
+class OptimizedQuery:
+    """Outcome of optimizing (not running) one query."""
+
+    sql: str
+    tree: QueryNode
+    plan: Plan
+    report: OptimizationReport
+    counters: OptimizerCounters
+    columns: list[str]
+
+    @property
+    def transformed_sql(self) -> str:
+        return self.report.transformed_sql
+
+    @property
+    def estimated_cost(self) -> float:
+        return self.plan.cost
+
+    def explain(self) -> str:
+        return (
+            f"-- transformed: {self.transformed_sql}\n{self.plan.describe()}"
+        )
+
+
+@dataclass
+class QueryResult:
+    """Rows plus full optimization/execution accounting."""
+
+    rows: list[tuple]
+    columns: list[str]
+    plan: Plan
+    report: OptimizationReport
+    exec_stats: ExecStats
+    optimize_seconds: float
+    execute_seconds: float
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def work_units(self) -> float:
+        return self.exec_stats.work_units
+
+    def explain_analyze(self) -> str:
+        """EXPLAIN ANALYZE output: the plan with estimated and actual
+        row counts side by side."""
+        return (
+            f"-- transformed: {self.report.transformed_sql}\n"
+            + self.plan.describe(actual_rows=self.exec_stats.node_rows)
+        )
+
+    @property
+    def total_time_units(self) -> float:
+        """The paper's "total run time": optimization + execution, in one
+        deterministic currency (optimizer states weigh in as work too)."""
+        return self.exec_stats.work_units + self.report.total_states
+
+
+class Database:
+    """An in-memory database instance."""
+
+    def __init__(self, config: Optional[OptimizerConfig] = None):
+        self.config = config or OptimizerConfig()
+        self.catalog = Catalog()
+        self.storage = Storage()
+        self.statistics = StatisticsRegistry()
+        self.functions = FunctionRegistry()
+        self._sampling_cache = DynamicSamplingCache(self.storage, self.catalog)
+
+    # -- schema & data -------------------------------------------------------
+
+    def execute_ddl(self, sql: str) -> None:
+        """Run one CREATE TABLE / CREATE INDEX statement."""
+        stmt = parse_statement(sql)
+        if isinstance(stmt, ast.CreateTable):
+            table = self.catalog.create_table_from_ddl(stmt)
+            self.storage.create(table)
+        elif isinstance(stmt, ast.CreateIndex):
+            index = self.catalog.create_index_from_ddl(stmt)
+            self.storage.get(index.table).attach_index(index)
+        else:
+            raise CatalogError("execute_ddl expects CREATE TABLE/INDEX")
+
+    def create_table(self, table: TableDef) -> None:
+        """Register a programmatically built table definition."""
+        self.catalog.add_table(table)
+        self.storage.create(table)
+
+    def create_index(self, index: Index) -> None:
+        self.catalog.add_index(index)
+        self.storage.get(index.table).attach_index(index)
+
+    def insert(self, table: str, rows: Iterable[dict]) -> int:
+        """Insert dict rows (missing columns become NULL)."""
+        count = self.storage.get(table).insert(rows)
+        self.statistics.drop(table)
+        self._sampling_cache.invalidate(table)
+        return count
+
+    def analyze(self, table: Optional[str] = None) -> None:
+        """Collect exact optimizer statistics (ANALYZE)."""
+        names = [table.lower()] if table else list(self.catalog.tables)
+        for name in names:
+            data = self.storage.get(name)
+            self.statistics.set(
+                name,
+                collect_statistics(
+                    data.rows, self.catalog.table(name).column_names
+                ),
+            )
+
+    def register_function(
+        self,
+        name: str,
+        fn: Callable,
+        expensive_cost: Optional[float] = None,
+    ) -> None:
+        """Register a scalar function; a non-None *expensive_cost* marks
+        it expensive for the predicate-pullup transformation (§2.2.6)."""
+        self.functions.register(name, fn)
+        if expensive_cost is not None:
+            self.catalog.register_expensive_function(name, expensive_cost)
+
+    # -- optimization & execution ----------------------------------------------
+
+    def parse(self, sql: str) -> QueryNode:
+        """Parse + resolve into a query tree (no transformation)."""
+        return build_query_tree(parse_query(sql), self.catalog)
+
+    def _physical(self, config: OptimizerConfig) -> PhysicalOptimizer:
+        return PhysicalOptimizer(
+            self.catalog,
+            self.statistics,
+            config.cost_model,
+            AnnotationStore(config.annotation_reuse),
+            OptimizerCounters(),
+            config.dp_threshold,
+            self._sampling_cache if config.dynamic_sampling else None,
+        )
+
+    def optimize(
+        self, sql: str, config: Optional[OptimizerConfig] = None
+    ) -> OptimizedQuery:
+        """Transform + plan a query without running it."""
+        config = config or self.config
+        tree = self.parse(sql)
+        columns = list(tree.output_columns())
+        physical = self._physical(config)
+        framework = CbqtFramework(self.catalog, physical, config.cbqt)
+        tree, plan, report = framework.optimize(tree)
+        return OptimizedQuery(sql, tree, plan, report, physical.counters, columns)
+
+    def explain(self, sql: str, config: Optional[OptimizerConfig] = None) -> str:
+        """EXPLAIN-style output: transformed SQL + the operator tree."""
+        return self.optimize(sql, config).explain()
+
+    def execute(
+        self, sql: str, config: Optional[OptimizerConfig] = None
+    ) -> QueryResult:
+        """Optimize and run a query."""
+        config = config or self.config
+        started = time.perf_counter()
+        optimized = self.optimize(sql, config)
+        optimize_seconds = time.perf_counter() - started
+
+        physical = self._physical(config)
+        executor = Executor(
+            self.storage,
+            self.catalog,
+            self.functions,
+            plan_subquery=physical.optimize,
+            cost_model=config.cost_model,
+        )
+        started = time.perf_counter()
+        rows, stats = executor.execute(optimized.plan)
+        execute_seconds = time.perf_counter() - started
+        return QueryResult(
+            rows,
+            optimized.columns,
+            optimized.plan,
+            optimized.report,
+            stats,
+            optimize_seconds,
+            execute_seconds,
+        )
+
+    def reference_execute(self, sql: str) -> list[tuple]:
+        """Evaluate with the naive reference evaluator (test oracle)."""
+        evaluator = ReferenceEvaluator(self.storage, self.functions)
+        return evaluator.evaluate(self.parse(sql))

@@ -1,0 +1,17 @@
+"""Execution engine: storage, expression compilation, plan executor, and
+the reference evaluator used as a semantics oracle."""
+
+from .executor import ExecStats, Executor
+from .expressions import ExpressionCompiler, FunctionRegistry
+from .reference import ReferenceEvaluator
+from .tables import Storage, TableData
+
+__all__ = [
+    "ExecStats",
+    "Executor",
+    "ExpressionCompiler",
+    "FunctionRegistry",
+    "ReferenceEvaluator",
+    "Storage",
+    "TableData",
+]

@@ -1,0 +1,213 @@
+"""In-memory row storage with index maintenance.
+
+Rows are stored as plain dicts keyed by bare column name; scan operators
+re-key them with the from-item alias (``"alias.column"``) when producing
+execution rows.  Each catalog index gets a hash map for equality probes
+and a sorted key list for range scans, mimicking a B-tree's two access
+patterns.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..catalog.schema import Index, TableDef
+from ..errors import ExecutionError
+
+
+class IndexData:
+    """Runtime structure backing one catalog index."""
+
+    def __init__(self, index: Index):
+        self.index = index
+        self._hash: dict[tuple, list[int]] = {}
+        self._sorted_keys: list[tuple] = []
+        self._sorted_dirty = False
+
+    def insert(self, key: tuple, row_id: int) -> None:
+        if any(part is None for part in key):
+            return  # NULL keys are not indexed, as in Oracle B-trees.
+        bucket = self._hash.get(key)
+        if bucket is None:
+            self._hash[key] = [row_id]
+            self._sorted_dirty = True
+        elif self.index.unique:
+            raise ExecutionError(
+                f"unique index {self.index.name!r} violated for key {key!r}"
+            )
+        else:
+            bucket.append(row_id)
+
+    def _ensure_sorted(self) -> None:
+        if self._sorted_dirty:
+            self._sorted_keys = sorted(self._hash)
+            self._sorted_dirty = False
+
+    def lookup_eq(self, key: tuple) -> list[int]:
+        return self._hash.get(key, [])
+
+    def lookup_range(
+        self,
+        low: Optional[object],
+        high: Optional[object],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[int]:
+        """Range scan on the leading column only (single-column bounds)."""
+        self._ensure_sorted()
+        keys = self._sorted_keys
+        if low is not None:
+            probe = (low,)
+            start = (
+                bisect.bisect_left(keys, probe)
+                if low_inclusive
+                else bisect.bisect_right(keys, probe + (_INFINITY,))
+            )
+        else:
+            start = 0
+        for key in keys[start:]:
+            if high is not None:
+                first = key[0]
+                if high_inclusive and first > high:
+                    break
+                if not high_inclusive and first >= high:
+                    break
+            if low is not None and low_inclusive is False and key[0] == low:
+                continue
+            yield from self._hash[key]
+
+    def scan(
+        self,
+        prefix: tuple,
+        range_op: Optional[str] = None,
+        range_value: Optional[object] = None,
+    ) -> Iterator[int]:
+        """Probe on an equality *prefix* of the index columns, optionally
+        bounded by ``range_op``/``range_value`` on the next column.
+
+        This is the composite-index access the optimizer's IndexScan plans
+        rely on: ``prefix`` may be shorter than the full key.
+        """
+        if range_op is None and len(prefix) == len(self.index.columns):
+            yield from self._hash.get(prefix, [])
+            return
+        if any(part is None for part in prefix) or (
+            range_op is not None and range_value is None
+        ):
+            return
+        self._ensure_sorted()
+        keys = self._sorted_keys
+        start = bisect.bisect_left(keys, prefix)
+        depth = len(prefix)
+        for key in keys[start:]:
+            if key[:depth] != prefix:
+                break
+            if range_op is not None:
+                value = key[depth]
+                if range_op == "=" and value != range_value:
+                    continue
+                if range_op == "<" and not value < range_value:
+                    continue
+                if range_op == "<=" and not value <= range_value:
+                    continue
+                if range_op == ">" and not value > range_value:
+                    continue
+                if range_op == ">=" and not value >= range_value:
+                    continue
+            yield from self._hash[key]
+
+    def __len__(self) -> int:
+        return len(self._hash)
+
+
+class _Infinity:
+    def __lt__(self, other) -> bool:
+        return False
+
+    def __gt__(self, other) -> bool:
+        return True
+
+
+_INFINITY = _Infinity()
+
+
+class TableData:
+    """Rows plus live index structures for one table."""
+
+    def __init__(self, table: TableDef):
+        self.table = table
+        self.rows: list[dict] = []
+        self.indexes: dict[str, IndexData] = {
+            ix.name: IndexData(ix) for ix in table.indexes
+        }
+
+    def attach_index(self, index: Index) -> None:
+        data = IndexData(index)
+        for row_id, row in enumerate(self.rows):
+            data.insert(tuple(row[c] for c in index.columns), row_id)
+        self.indexes[index.name] = data
+
+    def insert(self, rows: Iterable[dict]) -> int:
+        count = 0
+        for row in rows:
+            normalised = self._normalise(row)
+            row_id = len(self.rows)
+            self.rows.append(normalised)
+            for data in self.indexes.values():
+                key = tuple(normalised[c] for c in data.index.columns)
+                data.insert(key, row_id)
+            count += 1
+        return count
+
+    def _normalise(self, row: dict) -> dict:
+        normalised = {}
+        for name, column in self.table.columns.items():
+            value = row.get(name)
+            if value is None and column.not_null:
+                raise ExecutionError(
+                    f"NULL in NOT NULL column {self.table.name}.{name}"
+                )
+            normalised[name] = value
+        extra = set(row) - set(self.table.columns)
+        if extra:
+            raise ExecutionError(
+                f"unknown columns {sorted(extra)} for table {self.table.name!r}"
+            )
+        return normalised
+
+    def index_named(self, name: str) -> IndexData:
+        try:
+            return self.indexes[name]
+        except KeyError:
+            raise ExecutionError(
+                f"no index {name!r} on table {self.table.name!r}"
+            ) from None
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+
+class Storage:
+    """All table data for one database instance."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableData] = {}
+
+    def create(self, table: TableDef) -> TableData:
+        data = TableData(table)
+        self._tables[table.name] = data
+        return data
+
+    def get(self, name: str) -> TableData:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise ExecutionError(f"no data for table {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> Sequence[TableData]:
+        return list(self._tables.values())

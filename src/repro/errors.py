@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the facade boundary.  Subsystems raise the
+most specific subclass that applies; messages carry enough context (token
+position, block name, transformation name) to debug a failing query
+without a stack trace.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SqlError(ReproError):
+    """Base class for errors in the SQL front end (lexing and parsing)."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class LexError(SqlError):
+    """An input character sequence could not be tokenized."""
+
+
+class ParseError(SqlError):
+    """The token stream does not form a valid statement in our SQL subset."""
+
+
+class CatalogError(ReproError):
+    """A schema object is missing, duplicated, or inconsistently defined."""
+
+
+class ResolutionError(ReproError):
+    """A name in a query could not be resolved against the catalog."""
+
+
+class TransformError(ReproError):
+    """A transformation was applied where its preconditions do not hold."""
+
+
+class OptimizerError(ReproError):
+    """The physical optimizer could not produce a plan."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while executing a physical plan."""
+
+
+class UnsupportedError(ReproError):
+    """A SQL construct outside the implemented subset was encountered."""

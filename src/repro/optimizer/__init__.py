@@ -1,0 +1,23 @@
+"""Physical optimizer: cardinality/selectivity estimation, access paths,
+join ordering, plan nodes, and the cost model."""
+
+from .annotations import AnnotationStore
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .physical import (
+    BlockStatsContext,
+    CostBudgetExceeded,
+    OptimizerCounters,
+    PhysicalOptimizer,
+)
+from .plans import Plan
+
+__all__ = [
+    "AnnotationStore",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "BlockStatsContext",
+    "CostBudgetExceeded",
+    "OptimizerCounters",
+    "PhysicalOptimizer",
+    "Plan",
+]

@@ -1,0 +1,182 @@
+"""Access-path generation for one from-item.
+
+For a base table this produces the full-table scan plus every usable
+index path: equality binds on a prefix of the index columns, optionally a
+range bound on the following column, residual conjuncts applied post
+fetch.
+
+Bind expressions may reference *other* aliases, making the path
+*parameterised*:
+
+* references to other from-items of the same block — the path is only
+  usable as the inner of an index nested-loop join, after those aliases
+  are bound (the join-order enumerator checks
+  :meth:`~repro.optimizer.plans.IndexScan.outer_aliases`);
+* references to aliases outside the block entirely — correlation binds;
+  they behave as runtime parameters, which is precisely how a correlated
+  subquery evaluated under tuple-iteration semantics gets indexed access
+  on "the local column in the correlation predicate" (§2.2.1).
+
+A full table scan, by contrast, may only evaluate conjuncts whose
+block-local references are confined to the scanned alias.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..catalog.schema import TableDef
+from ..catalog.statistics import TableStats
+from ..qtree import exprutil
+from ..sql import ast
+from .costmodel import CostModel
+from .plans import IndexScan, Plan, TableScan
+from .selectivity import StatsContext, conjuncts_selectivity
+
+_RANGE_OPS = ("<", "<=", ">", ">=")
+
+
+def base_table_paths(
+    alias: str,
+    table: TableDef,
+    table_stats: Optional[TableStats],
+    conjuncts: list[ast.Expr],
+    local_aliases: set[str],
+    stats: StatsContext,
+    cost_model: CostModel,
+) -> list[Plan]:
+    """All access paths for a base-table from-item.
+
+    *conjuncts* are the block's conjuncts that mention this alias;
+    *local_aliases* are all from-item aliases of the block (used to tell
+    sibling references from outer-block correlation parameters).
+    """
+    row_count = float(table_stats.row_count) if table_stats else 1000.0
+    truly_local = [
+        c for c in conjuncts if _is_local(c, alias, local_aliases)
+    ]
+    paths: list[Plan] = [
+        _full_scan(alias, table, row_count, truly_local, stats, cost_model)
+    ]
+    bindable = [c for c in conjuncts if not ast.contains_subquery(c)]
+    eq_binds, range_binds = _classify(alias, bindable)
+    for index in table.indexes:
+        path = _index_path(
+            alias, table, index, row_count, eq_binds, range_binds,
+            truly_local, stats, cost_model,
+        )
+        if path is not None:
+            paths.append(path)
+    return paths
+
+
+def _is_local(conjunct: ast.Expr, alias: str, local_aliases: set[str]) -> bool:
+    if ast.contains_subquery(conjunct):
+        return False
+    refs = exprutil.aliases_referenced(conjunct) & local_aliases
+    return refs <= {alias}
+
+
+def _full_scan(
+    alias: str,
+    table: TableDef,
+    row_count: float,
+    local_conjuncts: list[ast.Expr],
+    stats: StatsContext,
+    cost_model: CostModel,
+) -> TableScan:
+    selectivity = conjuncts_selectivity(local_conjuncts, stats)
+    cost = row_count * (
+        cost_model.scan_row + cost_model.predicate_eval * len(local_conjuncts)
+    )
+    return TableScan(
+        alias, table.name, local_conjuncts, cost,
+        max(row_count * selectivity, 0.0),
+    )
+
+
+def _classify(alias: str, conjuncts: list[ast.Expr]):
+    """Split bindable conjuncts into equality binds (column -> expr) and
+    range binds (column -> (op, expr, conjunct))."""
+    eq_binds: dict[str, tuple[ast.Expr, ast.Expr]] = {}
+    range_binds: dict[str, tuple[str, ast.Expr, ast.Expr]] = {}
+    for conjunct in conjuncts:
+        bound = _bind_of(alias, conjunct)
+        if bound is None:
+            continue
+        column, op, expr = bound
+        if op == "=" and column not in eq_binds:
+            eq_binds[column] = (expr, conjunct)
+        elif op in _RANGE_OPS and column not in range_binds:
+            range_binds[column] = (op, expr, conjunct)
+    return eq_binds, range_binds
+
+
+def _bind_of(alias: str, conjunct: ast.Expr) -> Optional[tuple[str, str, ast.Expr]]:
+    """Match ``alias.col <op> expr`` where expr does not reference alias."""
+    if not isinstance(conjunct, ast.BinOp) or not conjunct.is_comparison:
+        return None
+    left, right, op = conjunct.left, conjunct.right, conjunct.op
+    if isinstance(right, ast.ColumnRef) and right.qualifier == alias and not (
+        isinstance(left, ast.ColumnRef) and left.qualifier == alias
+    ):
+        left, right = right, left
+        op = ast.MIRRORED_COMPARISON[op]
+    if not (isinstance(left, ast.ColumnRef) and left.qualifier == alias):
+        return None
+    if alias in exprutil.aliases_referenced(right):
+        return None
+    return left.name, op, right
+
+
+def _index_path(
+    alias: str,
+    table: TableDef,
+    index,
+    row_count: float,
+    eq_binds: dict[str, tuple[ast.Expr, ast.Expr]],
+    range_binds: dict[str, tuple[str, ast.Expr, ast.Expr]],
+    truly_local: list[ast.Expr],
+    stats: StatsContext,
+    cost_model: CostModel,
+) -> Optional[IndexScan]:
+    used_eq: list[tuple[str, ast.Expr]] = []
+    covered_conjuncts: list[ast.Expr] = []
+    range_bind: Optional[tuple[str, str, ast.Expr]] = None
+    for column in index.columns:
+        if column in eq_binds:
+            expr, conjunct = eq_binds[column]
+            used_eq.append((column, expr))
+            covered_conjuncts.append(conjunct)
+            continue
+        if column in range_binds:
+            op, expr, conjunct = range_binds[column]
+            range_bind = (column, op, expr)
+            covered_conjuncts.append(conjunct)
+        break
+    if not used_eq and range_bind is None:
+        return None
+
+    index_selectivity = conjuncts_selectivity(covered_conjuncts, stats)
+    matched = max(row_count * index_selectivity, 0.0)
+
+    covered_ids = {id(c) for c in covered_conjuncts}
+    post = [c for c in truly_local if id(c) not in covered_ids]
+    post_selectivity = conjuncts_selectivity(post, stats)
+
+    cost = (
+        cost_model.index_probe
+        + matched * cost_model.index_row
+        + matched * cost_model.predicate_eval * len(post)
+    )
+    return IndexScan(
+        alias,
+        table.name,
+        index,
+        used_eq,
+        range_bind,
+        post,
+        cost,
+        max(matched * post_selectivity, 0.0),
+        covered_conjuncts=covered_conjuncts,
+    )

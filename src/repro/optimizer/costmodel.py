@@ -1,0 +1,57 @@
+"""The cost model: work-unit prices for every physical operation.
+
+Costs are expressed in *work units* — the same currency the execution
+engine's accounting uses (roughly "rows touched", with multipliers for
+expensive operations).  Keeping the estimate and the measurement in one
+currency is what lets the benchmark harness compare "optimizer thought"
+vs "engine did", and is why cost-based decisions usually (not always)
+match reality, reproducing the paper's residual mis-estimation cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable constants of the cost model."""
+
+    #: cost to produce one row from a full table scan
+    scan_row: float = 1.0
+    #: cost of traversing an index (per probe)
+    index_probe: float = 2.0
+    #: cost to fetch one row via an index entry
+    index_row: float = 1.0
+    #: per-row cost of evaluating one predicate conjunct
+    predicate_eval: float = 0.1
+    #: per-row cost of a hash-table insert or probe
+    hash_row: float = 0.6
+    #: multiplier for sort cost: sort_row * n * log2(n)
+    sort_row: float = 0.35
+    #: per-row cost of passing through a join / filter / projection
+    pipeline_row: float = 0.1
+    #: per-row cost of an aggregation update
+    agg_row: float = 0.5
+    #: per-row cost of a window-function computation
+    window_row: float = 0.8
+    #: per-probe cost of the TIS subquery-result cache (§2.1.1 caching)
+    tis_cache_probe: float = 0.2
+    #: cost to materialise one view row
+    materialise_row: float = 0.5
+
+    def sort_cost(self, rows: float) -> float:
+        import math
+
+        if rows <= 1:
+            return self.sort_row
+        return self.sort_row * rows * math.log2(rows)
+
+    def hash_build_cost(self, rows: float) -> float:
+        return self.hash_row * max(rows, 1.0)
+
+    def hash_probe_cost(self, rows: float) -> float:
+        return self.hash_row * max(rows, 1.0)
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,485 @@
+"""Join-order enumeration for one query block.
+
+Left-deep dynamic programming over alias subsets (System-R style), with a
+greedy fallback above a size threshold.  The enumerator honours the
+partial orders the paper describes for non-commutative joins: a LEFT /
+SEMI / ANTI from-item may only be placed after every alias its ON
+condition references (§2.1.1), and a lateral view produced by join
+predicate pushdown must follow the aliases it references and joins by
+nested loops only (§2.2.3).
+
+Per step it considers three join methods — nested loops (including index
+NL when a parameterised index path's dependencies are satisfied), hash,
+and sort-merge — and models the semijoin/antijoin execution properties
+the paper calls out: stop-at-first-match and caching of results for
+duplicate left-side keys.
+
+Residual predicates that could not be embedded in scans or joins
+(correlated subquery predicates evaluated under TIS, expensive functions)
+arrive as :class:`PendingFilter` objects with a precomputed per-row cost
+and are applied at the earliest state whose alias set covers them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import OptimizerError
+from ..qtree import exprutil
+from ..sql import ast
+from .costmodel import CostModel
+from .plans import (
+    Filter,
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    Plan,
+    ViewScan,
+)
+from .selectivity import StatsContext, conjuncts_selectivity
+
+#: DP is used up to this many from-items; greedy above.
+DEFAULT_DP_THRESHOLD = 8
+
+
+@dataclass
+class Relation:
+    """One from-item prepared for join enumeration."""
+
+    alias: str
+    paths: list[Plan]
+    join_type: str = "INNER"
+    join_conjuncts: list[ast.Expr] = field(default_factory=list)
+    required_predecessors: set[str] = field(default_factory=set)
+
+    @property
+    def is_inner(self) -> bool:
+        return self.join_type == "INNER"
+
+
+@dataclass
+class PendingFilter:
+    """A residual conjunct with its evaluation cost per input row."""
+
+    conjunct: ast.Expr
+    local_refs: set[str]
+    selectivity: float
+    per_row_cost: float
+
+
+class JoinOrderEnumerator:
+    def __init__(
+        self,
+        relations: list[Relation],
+        join_conjuncts: list[ast.Expr],
+        filters: list[PendingFilter],
+        stats: StatsContext,
+        cost_model: CostModel,
+        dp_threshold: int = DEFAULT_DP_THRESHOLD,
+        budget: Optional[float] = None,
+    ):
+        self._relations = {r.alias: r for r in relations}
+        self._join_conjuncts = join_conjuncts
+        self._filters = filters
+        self._stats = stats
+        self._cm = cost_model
+        self._dp_threshold = dp_threshold
+        self._budget = budget
+
+    # -- public -----------------------------------------------------------
+
+    def best_plan(self) -> Plan:
+        if not self._relations:
+            raise OptimizerError("query block has no from-items")
+        if len(self._relations) == 1:
+            relation = next(iter(self._relations.values()))
+            plan = self._leaf_plan(relation)
+            if plan is None:
+                raise OptimizerError(
+                    f"no usable access path for {relation.alias!r}"
+                )
+            return plan
+        if len(self._relations) <= self._dp_threshold:
+            return self._dp()
+        return self._greedy()
+
+    # -- leaf handling -------------------------------------------------------
+
+    def _leading_candidates(self, relation: Relation) -> list[Plan]:
+        """Paths usable when *relation* leads the join order."""
+        if not relation.is_inner or relation.required_predecessors:
+            return []
+        local = set(self._relations)
+        candidates = []
+        for path in relation.paths:
+            deps = _path_dependencies(path) & local
+            if not deps:
+                candidates.append(path)
+        return candidates
+
+    def _leaf_plan(self, relation: Relation) -> Optional[Plan]:
+        candidates = self._leading_candidates(relation)
+        if not candidates:
+            return None
+        best = min(candidates, key=lambda p: p.cost)
+        return self._apply_filters(best, frozenset([relation.alias]), set())
+
+    def _apply_filters(
+        self, plan: Plan, covered: frozenset[str], already: set[int]
+    ) -> Plan:
+        """Wrap *plan* with every pending filter now evaluable."""
+        todo = [
+            f for f in self._filters
+            if id(f) not in already and f.local_refs <= covered
+        ]
+        for pending in todo:
+            already.add(id(pending))
+            rows_in = plan.cardinality
+            cost = plan.cost + rows_in * pending.per_row_cost
+            cardinality = rows_in * pending.selectivity
+            plan = Filter(plan, [pending.conjunct], cost, cardinality)
+        return plan
+
+    # -- DP -----------------------------------------------------------------
+
+    def _dp(self) -> Plan:
+        aliases = sorted(self._relations)
+        best: dict[frozenset[str], Plan] = {}
+        for alias in aliases:
+            relation = self._relations[alias]
+            plan = self._leaf_plan(relation)
+            if plan is not None:
+                best[frozenset([alias])] = plan
+
+        all_set = frozenset(aliases)
+        for size in range(1, len(aliases)):
+            for subset, plan in [
+                (s, p) for s, p in best.items() if len(s) == size
+            ]:
+                for alias in aliases:
+                    if alias in subset:
+                        continue
+                    extended = subset | {alias}
+                    candidate = self._extend(plan, subset, alias)
+                    if candidate is None:
+                        continue
+                    incumbent = best.get(extended)
+                    if incumbent is None or candidate.cost < incumbent.cost:
+                        best[frozenset(extended)] = candidate
+        final = best.get(all_set)
+        if final is None:
+            if self._budget is not None:
+                from .physical import CostBudgetExceeded
+
+                raise CostBudgetExceeded(
+                    "every join order exceeded the cost budget"
+                )
+            raise OptimizerError(
+                "no valid join order (unsatisfiable partial order constraints)"
+            )
+        return final
+
+    def _greedy(self) -> Plan:
+        remaining = set(self._relations)
+        plan: Optional[Plan] = None
+        covered: frozenset[str] = frozenset()
+        # cheapest viable leader
+        leaders = [
+            (p.cost, alias, p)
+            for alias in remaining
+            for p in [self._leaf_plan(self._relations[alias])]
+            if p is not None
+        ]
+        if not leaders:
+            raise OptimizerError("no relation can lead the join order")
+        _, lead_alias, plan = min(leaders, key=lambda t: t[0])
+        covered = frozenset([lead_alias])
+        remaining.discard(lead_alias)
+        while remaining:
+            step_best: Optional[tuple[float, str, Plan]] = None
+            for alias in remaining:
+                candidate = self._extend(plan, covered, alias)
+                if candidate is None:
+                    continue
+                if step_best is None or candidate.cost < step_best[0]:
+                    step_best = (candidate.cost, alias, candidate)
+            if step_best is None:
+                if self._budget is not None:
+                    from .physical import CostBudgetExceeded
+
+                    raise CostBudgetExceeded(
+                        "every greedy join step exceeded the cost budget"
+                    )
+                raise OptimizerError(
+                    "greedy join ordering got stuck on partial-order constraints"
+                )
+            _, alias, plan = step_best
+            covered = covered | {alias}
+            remaining.discard(alias)
+        return plan
+
+    # -- join step -------------------------------------------------------------
+
+    def _extend(
+        self, left: Plan, subset: frozenset[str], alias: str
+    ) -> Optional[Plan]:
+        relation = self._relations[alias]
+        if not relation.required_predecessors <= subset:
+            return None
+        if self._budget is not None and left.cost > self._budget:
+            return None
+
+        extended = subset | {alias}
+        if relation.is_inner:
+            conjuncts = [
+                c for c in self._join_conjuncts
+                if self._applies_now(c, subset, alias)
+            ]
+            join_type = "INNER"
+        else:
+            conjuncts = list(relation.join_conjuncts)
+            join_type = relation.join_type
+
+        candidates: list[Plan] = []
+        local = set(self._relations)
+        for path in relation.paths:
+            deps = _path_dependencies(path) & local
+            if not deps <= subset:
+                continue
+            candidates.extend(
+                self._join_candidates(
+                    left, path, join_type, conjuncts, parameterised=bool(deps)
+                )
+            )
+        if not candidates:
+            return None
+        best = min(candidates, key=lambda p: p.cost)
+        applied = {
+            id(f) for f in self._filters if f.local_refs <= subset
+        }
+        return self._apply_filters(best, frozenset(extended), applied)
+
+    def _applies_now(
+        self, conjunct: ast.Expr, subset: frozenset[str], alias: str
+    ) -> bool:
+        refs = exprutil.aliases_referenced(conjunct) & set(self._relations)
+        return alias in refs and refs <= (subset | {alias})
+
+    def _join_candidates(
+        self,
+        left: Plan,
+        right: Plan,
+        join_type: str,
+        conjuncts: list[ast.Expr],
+        parameterised: bool,
+    ) -> list[Plan]:
+        covered = getattr(right, "covered_conjuncts", [])
+        covered_ids = {id(c) for c in covered}
+        residual = [c for c in conjuncts if id(c) not in covered_ids]
+
+        candidates = [
+            self._nl_join(left, right, join_type, residual, parameterised)
+        ]
+        if not parameterised:
+            equi = _equi_split(left.aliases, right.aliases, residual)
+            if equi is not None:
+                left_keys, right_keys, rest = equi
+                # The null-aware antijoin needs full three-valued
+                # evaluation of the condition; hashing can only model it
+                # for a single bare key with no residual (the NOT IN
+                # case), and merge not at all.
+                hashable = join_type != "ANTI_NA" or (
+                    len(left_keys) == 1 and not rest
+                )
+                if hashable:
+                    candidates.append(
+                        self._hash_join(
+                            left, right, join_type, left_keys, right_keys, rest
+                        )
+                    )
+                if join_type != "ANTI_NA":
+                    candidates.append(
+                        self._merge_join(
+                            left, right, join_type, left_keys, right_keys, rest
+                        )
+                    )
+        return candidates
+
+    # -- join method costing ----------------------------------------------------
+
+    def _join_selectivity(self, conjuncts: list[ast.Expr]) -> float:
+        return conjuncts_selectivity(conjuncts, self._stats)
+
+    def _output_cardinality(
+        self, left: Plan, right: Plan, join_type: str, conjuncts: list[ast.Expr],
+        right_parameterised: bool,
+    ) -> float:
+        sel = self._join_selectivity(conjuncts)
+        # A parameterised path's cardinality is rows *per probe*, so the
+        # product form below covers both cases.
+        inner_card = left.cardinality * right.cardinality * sel
+        if join_type == "INNER":
+            return inner_card
+        if join_type == "LEFT":
+            return max(left.cardinality, inner_card)
+        match_prob = min(1.0, right.cardinality * sel)
+        if join_type == "SEMI":
+            return left.cardinality * match_prob
+        return left.cardinality * (1.0 - match_prob)  # ANTI / ANTI_NA
+
+    def _left_key_ndv(self, left: Plan, conjuncts: list[ast.Expr]) -> float:
+        """Distinct left-side key combinations, for semijoin caching."""
+        ndv = 1.0
+        found = False
+        for conjunct in conjuncts:
+            pair = exprutil.equality_columns(conjunct)
+            if pair is None:
+                continue
+            for col in pair:
+                if col.qualifier in left.aliases:
+                    stats = self._stats.column_stats(col.qualifier, col.name)
+                    if stats is not None and stats.num_distinct:
+                        ndv *= stats.num_distinct
+                        found = True
+        if not found:
+            return left.cardinality
+        return min(ndv, max(left.cardinality, 1.0))
+
+    def _nl_join(
+        self,
+        left: Plan,
+        right: Plan,
+        join_type: str,
+        conjuncts: list[ast.Expr],
+        parameterised: bool,
+    ) -> Plan:
+        cm = self._cm
+        out_card = self._output_cardinality(
+            left, right, join_type, conjuncts, parameterised
+        )
+        probes = max(left.cardinality, 0.0)
+        if join_type in ("SEMI", "ANTI", "ANTI_NA"):
+            # Stop at first match + result caching for duplicate left keys.
+            distinct_probes = min(probes, self._left_key_ndv(left, conjuncts))
+            cache_cost = probes * cm.tis_cache_probe
+        else:
+            distinct_probes = probes
+            cache_cost = 0.0
+
+        if parameterised:
+            per_probe = right.cost
+            scan_rows = right.cardinality
+        else:
+            per_probe = right.cardinality * cm.pipeline_row
+            scan_rows = right.cardinality
+        stop_factor = 0.5 if join_type == "SEMI" else 1.0
+        inner_cost = distinct_probes * per_probe * stop_factor
+        predicate_cost = (
+            distinct_probes * scan_rows * cm.predicate_eval * max(len(conjuncts), 1)
+            * stop_factor
+        )
+        setup_cost = 0.0 if parameterised else right.cost
+        cost = (
+            left.cost
+            + setup_cost
+            + inner_cost
+            + predicate_cost
+            + cache_cost
+            + out_card * cm.pipeline_row
+        )
+        return NestedLoopJoin(left, right, join_type, conjuncts, cost, out_card)
+
+    def _hash_join(
+        self,
+        left: Plan,
+        right: Plan,
+        join_type: str,
+        left_keys: list[ast.Expr],
+        right_keys: list[ast.Expr],
+        residual: list[ast.Expr],
+    ) -> Plan:
+        cm = self._cm
+        all_conjuncts = [
+            ast.BinOp("=", l, r) for l, r in zip(left_keys, right_keys)
+        ] + residual
+        out_card = self._output_cardinality(
+            left, right, join_type, all_conjuncts, right_parameterised=False
+        )
+        cost = (
+            left.cost
+            + right.cost
+            + cm.hash_build_cost(right.cardinality)
+            + cm.hash_probe_cost(left.cardinality)
+            + left.cardinality * cm.predicate_eval * len(residual)
+            + out_card * cm.pipeline_row
+        )
+        return HashJoin(
+            left, right, join_type, left_keys, right_keys, residual, cost, out_card
+        )
+
+    def _merge_join(
+        self,
+        left: Plan,
+        right: Plan,
+        join_type: str,
+        left_keys: list[ast.Expr],
+        right_keys: list[ast.Expr],
+        residual: list[ast.Expr],
+    ) -> Plan:
+        cm = self._cm
+        all_conjuncts = [
+            ast.BinOp("=", l, r) for l, r in zip(left_keys, right_keys)
+        ] + residual
+        out_card = self._output_cardinality(
+            left, right, join_type, all_conjuncts, right_parameterised=False
+        )
+        cost = (
+            left.cost
+            + right.cost
+            + cm.sort_cost(left.cardinality)
+            + cm.sort_cost(right.cardinality)
+            + (left.cardinality + right.cardinality) * cm.pipeline_row
+            + out_card * cm.pipeline_row
+        )
+        return MergeJoin(
+            left, right, join_type, left_keys, right_keys, residual, cost, out_card
+        )
+
+
+def _path_dependencies(path: Plan) -> set[str]:
+    if isinstance(path, IndexScan):
+        return path.outer_aliases()
+    if isinstance(path, ViewScan):
+        return set(path.lateral_refs)
+    return set()
+
+
+def _equi_split(
+    left_aliases: frozenset[str],
+    right_aliases: frozenset[str],
+    conjuncts: list[ast.Expr],
+) -> Optional[tuple[list[ast.Expr], list[ast.Expr], list[ast.Expr]]]:
+    """Split conjuncts into hash keys (left expr, right expr) and
+    residuals.  Returns None when no equi-key exists."""
+    left_keys: list[ast.Expr] = []
+    right_keys: list[ast.Expr] = []
+    rest: list[ast.Expr] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, ast.BinOp) and conjunct.op == "=" \
+                and not ast.contains_subquery(conjunct):
+            l_refs = exprutil.aliases_referenced(conjunct.left)
+            r_refs = exprutil.aliases_referenced(conjunct.right)
+            if l_refs and l_refs <= left_aliases and r_refs and r_refs <= right_aliases:
+                left_keys.append(conjunct.left)
+                right_keys.append(conjunct.right)
+                continue
+            if l_refs and l_refs <= right_aliases and r_refs and r_refs <= left_aliases:
+                left_keys.append(conjunct.right)
+                right_keys.append(conjunct.left)
+                continue
+        rest.append(conjunct)
+    if not left_keys:
+        return None
+    return left_keys, right_keys, rest

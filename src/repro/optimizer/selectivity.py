@@ -1,0 +1,217 @@
+"""Selectivity estimation for predicates.
+
+Estimates the fraction of rows that survive a conjunct, using column
+statistics and histograms where available and System-R default constants
+otherwise.  The estimator is deliberately in the classic mold — equality
+``1/NDV``, independence across conjuncts — so it exhibits the same
+mis-estimation modes the paper attributes degraded queries to (§4.2:
+"performance degradation ... is typically due to cost mis-estimation").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..catalog.statistics import (
+    ColumnStats,
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_LIKE_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    TableStats,
+)
+from ..sql import ast
+
+
+class StatsContext(Protocol):
+    """Where the estimator finds statistics for an alias.column."""
+
+    def column_stats(self, alias: str, column: str) -> Optional[ColumnStats]: ...
+
+    def table_stats(self, alias: str) -> Optional[TableStats]: ...
+
+
+def conjunct_selectivity(conjunct: ast.Expr, stats: StatsContext) -> float:
+    """Selectivity of one conjunct (0 < s <= 1)."""
+    sel = _estimate(conjunct, stats)
+    return min(1.0, max(1e-6, sel))
+
+
+def conjuncts_selectivity(conjuncts: list[ast.Expr], stats: StatsContext) -> float:
+    """Combined selectivity under the independence assumption."""
+    sel = 1.0
+    for conjunct in conjuncts:
+        sel *= conjunct_selectivity(conjunct, stats)
+    return sel
+
+
+def _estimate(expr: ast.Expr, stats: StatsContext) -> float:
+    if isinstance(expr, ast.BinOp) and expr.is_comparison:
+        return _comparison_selectivity(expr, stats)
+    if isinstance(expr, ast.And):
+        sel = 1.0
+        for op in expr.operands:
+            sel *= _estimate(op, stats)
+        return sel
+    if isinstance(expr, ast.Or):
+        sel = 0.0
+        for op in expr.operands:
+            s = _estimate(op, stats)
+            sel = sel + s - sel * s
+        return sel
+    if isinstance(expr, ast.Not):
+        return 1.0 - _estimate(expr.operand, stats)
+    if isinstance(expr, ast.IsNull):
+        return _null_selectivity(expr, stats)
+    if isinstance(expr, ast.Between):
+        return _between_selectivity(expr, stats)
+    if isinstance(expr, ast.Like):
+        sel = DEFAULT_LIKE_SELECTIVITY
+        return 1.0 - sel if expr.negated else sel
+    if isinstance(expr, ast.InList):
+        return _in_list_selectivity(expr, stats)
+    if isinstance(expr, ast.SubqueryExpr):
+        return _subquery_selectivity(expr)
+    if isinstance(expr, ast.Literal):
+        if expr.value is True:
+            return 1.0
+        return 0.0
+    return 0.5
+
+
+def _column_and_literal(
+    expr: ast.BinOp,
+) -> Optional[tuple[ast.ColumnRef, object, str]]:
+    """Match ``col <op> literal`` in either orientation."""
+    left, right, op = expr.left, expr.right, expr.op
+    if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
+        return left, right.value, op
+    if isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
+        return right, left.value, ast.MIRRORED_COMPARISON[op]
+    return None
+
+
+def _comparison_selectivity(expr: ast.BinOp, stats: StatsContext) -> float:
+    matched = _column_and_literal(expr)
+    if matched is not None:
+        column, value, op = matched
+        return _column_vs_literal(column, value, op, stats)
+    if isinstance(expr.left, ast.ColumnRef) and isinstance(expr.right, ast.ColumnRef):
+        return _column_vs_column(expr, stats)
+    if expr.op == "=":
+        return DEFAULT_EQ_SELECTIVITY
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def _column_vs_literal(
+    column: ast.ColumnRef, value: object, op: str, stats: StatsContext
+) -> float:
+    col_stats = (
+        stats.column_stats(column.qualifier, column.name) if column.qualifier else None
+    )
+    table_stats = stats.table_stats(column.qualifier) if column.qualifier else None
+    if col_stats is None or value is None:
+        return DEFAULT_EQ_SELECTIVITY if op == "=" else DEFAULT_RANGE_SELECTIVITY
+
+    row_count = table_stats.row_count if table_stats else 0
+    non_null_fraction = 1.0 - col_stats.null_fraction(row_count)
+    if op == "=":
+        if col_stats.histogram is not None:
+            return col_stats.histogram.selectivity_eq(
+                value, col_stats.num_distinct
+            ) * non_null_fraction
+        return non_null_fraction / max(col_stats.num_distinct, 1)
+    if op == "<>":
+        eq = _column_vs_literal(column, value, "=", stats)
+        return max(0.0, non_null_fraction - eq)
+    if op in ("<", "<="):
+        if col_stats.histogram is not None:
+            return col_stats.histogram.selectivity_range(
+                None, value, high_inclusive=(op == "<=")
+            ) * non_null_fraction
+        return _interpolate(col_stats, value, below=True) * non_null_fraction
+    if op in (">", ">="):
+        if col_stats.histogram is not None:
+            return col_stats.histogram.selectivity_range(
+                value, None, low_inclusive=(op == ">=")
+            ) * non_null_fraction
+        return _interpolate(col_stats, value, below=False) * non_null_fraction
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def _interpolate(col_stats: ColumnStats, value: object, below: bool) -> float:
+    lo, hi = col_stats.min_value, col_stats.max_value
+    if (
+        isinstance(lo, (int, float))
+        and isinstance(hi, (int, float))
+        and isinstance(value, (int, float))
+        and hi > lo
+    ):
+        fraction = (float(value) - float(lo)) / (float(hi) - float(lo))
+        fraction = max(0.0, min(1.0, fraction))
+        return fraction if below else 1.0 - fraction
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def _column_vs_column(expr: ast.BinOp, stats: StatsContext) -> float:
+    """col1 <op> col2 — the join-predicate case."""
+    left, right = expr.left, expr.right
+    assert isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef)
+    if expr.op != "=":
+        return DEFAULT_RANGE_SELECTIVITY
+    left_stats = stats.column_stats(left.qualifier, left.name)
+    right_stats = stats.column_stats(right.qualifier, right.name)
+    left_ndv = left_stats.num_distinct if left_stats else 0
+    right_ndv = right_stats.num_distinct if right_stats else 0
+    ndv = max(left_ndv, right_ndv)
+    if ndv <= 0:
+        return DEFAULT_EQ_SELECTIVITY
+    return 1.0 / ndv
+
+
+def _null_selectivity(expr: ast.IsNull, stats: StatsContext) -> float:
+    if isinstance(expr.operand, ast.ColumnRef) and expr.operand.qualifier:
+        col_stats = stats.column_stats(expr.operand.qualifier, expr.operand.name)
+        table_stats = stats.table_stats(expr.operand.qualifier)
+        if col_stats is not None and table_stats is not None:
+            fraction = col_stats.null_fraction(table_stats.row_count)
+            return 1.0 - fraction if expr.negated else fraction
+    return 0.95 if expr.negated else 0.05
+
+
+def _between_selectivity(expr: ast.Between, stats: StatsContext) -> float:
+    if (
+        isinstance(expr.operand, ast.ColumnRef)
+        and isinstance(expr.low, ast.Literal)
+        and isinstance(expr.high, ast.Literal)
+    ):
+        low = _column_vs_literal(expr.operand, expr.low.value, ">=", stats)
+        high = _column_vs_literal(expr.operand, expr.high.value, "<=", stats)
+        sel = max(0.0, low + high - 1.0)
+    else:
+        sel = DEFAULT_RANGE_SELECTIVITY ** 2
+    return 1.0 - sel if expr.negated else sel
+
+
+def _in_list_selectivity(expr: ast.InList, stats: StatsContext) -> float:
+    if isinstance(expr.operand, ast.ColumnRef):
+        sel = 0.0
+        for item in expr.items:
+            if isinstance(item, ast.Literal):
+                sel += _column_vs_literal(expr.operand, item.value, "=", stats)
+            else:
+                sel += DEFAULT_EQ_SELECTIVITY
+        sel = min(1.0, sel)
+    else:
+        sel = min(1.0, DEFAULT_EQ_SELECTIVITY * len(expr.items))
+    return 1.0 - sel if expr.negated else sel
+
+
+def _subquery_selectivity(expr: ast.SubqueryExpr) -> float:
+    """Default selectivities for subquery predicates left in place (TIS)."""
+    if expr.kind == "EXISTS":
+        return 0.3 if expr.negated else 0.7
+    if expr.kind == "IN":
+        return 0.5 if expr.negated else 0.5
+    if expr.kind == "QUANTIFIED":
+        return 0.4
+    return 0.5  # scalar comparison handled by enclosing comparison

@@ -1,0 +1,15 @@
+"""Query-tree intermediate representation (declarative query blocks)."""
+
+from .blocks import FromItem, QueryBlock, QueryNode, SetOpBlock
+from .builder import build_query_tree
+from .sqlgen import node_to_sql, signature
+
+__all__ = [
+    "FromItem",
+    "QueryBlock",
+    "QueryNode",
+    "SetOpBlock",
+    "build_query_tree",
+    "node_to_sql",
+    "signature",
+]

@@ -1,0 +1,419 @@
+"""Build a semantic query tree from parser output.
+
+Responsibilities:
+
+* flatten ANSI join syntax into the block's from-item list (RIGHT joins
+  are mirrored into LEFT; inner-join ON conditions become ordinary WHERE
+  conjuncts);
+* resolve every column reference to a from-item alias, climbing outer
+  scopes for correlated subqueries;
+* expand ``*`` select items into explicit column references;
+* recursively build subquery bodies, replacing the parser statement inside
+  each :class:`~repro.sql.ast.SubqueryExpr` with a built query node;
+* extract Oracle ``ROWNUM < n`` predicates into the block's row limit;
+* normalise predicates (NOT pushing, quantifier rewrites).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..catalog.schema import Catalog
+from ..errors import ResolutionError, UnsupportedError
+from ..sql import ast
+from . import exprutil
+from .blocks import FromItem, QueryBlock, QueryNode, SetOpBlock
+
+
+def build_query_tree(stmt: ast.Statement, catalog: Catalog) -> QueryNode:
+    """Build and resolve the query tree for a parsed statement."""
+    return _Builder(catalog).build_node(stmt, parent=None)
+
+
+class _Scope:
+    """Name-resolution scope: the from-items of one enclosing block."""
+
+    def __init__(self, parent: Optional["_Scope"]):
+        self.parent = parent
+        self.items: dict[str, list[str]] = {}
+
+    def add(self, alias: str, columns: list[str]) -> None:
+        if alias in self.items:
+            raise ResolutionError(f"duplicate alias {alias!r} in FROM clause")
+        self.items[alias] = columns
+
+    def resolve_unqualified(self, name: str) -> Optional[str]:
+        """Return the alias that defines column *name*, searching this
+        scope before outer scopes.  Raises on ambiguity within a scope."""
+        matches = [
+            alias for alias, columns in self.items.items() if name in columns
+        ]
+        if len(matches) > 1:
+            raise ResolutionError(f"ambiguous column reference {name!r}")
+        if matches:
+            return matches[0]
+        if self.parent is not None:
+            return self.parent.resolve_unqualified(name)
+        return None
+
+    def knows_alias(self, alias: str) -> bool:
+        if alias in self.items:
+            return True
+        return self.parent is not None and self.parent.knows_alias(alias)
+
+    def columns_of(self, alias: str) -> Optional[list[str]]:
+        if alias in self.items:
+            return self.items[alias]
+        if self.parent is not None:
+            return self.parent.columns_of(alias)
+        return None
+
+
+class _Builder:
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+
+    # -- top level -----------------------------------------------------------
+
+    def build_node(self, stmt: ast.Statement, parent: Optional[_Scope]) -> QueryNode:
+        if isinstance(stmt, ast.SetOpStmt):
+            return self._build_setop(stmt, parent)
+        return self._build_select(stmt, parent)
+
+    def _build_setop(self, stmt: ast.SetOpStmt, parent: Optional[_Scope]) -> SetOpBlock:
+        branches: list[QueryNode] = []
+
+        def collect(node: ast.Statement, op: str) -> None:
+            # Flatten same-op UNION ALL chains into one n-ary node.
+            if isinstance(node, ast.SetOpStmt) and node.op == op == "UNION ALL" \
+                    and not node.order_by:
+                collect(node.left, op)
+                collect(node.right, op)
+            else:
+                branches.append(self.build_node(node, parent))
+
+        if stmt.op == "UNION ALL":
+            collect(stmt.left, stmt.op)
+            collect(stmt.right, stmt.op)
+        else:
+            branches.append(self.build_node(stmt.left, parent))
+            branches.append(self.build_node(stmt.right, parent))
+        arity = len(branches[0].output_columns())
+        for branch in branches[1:]:
+            if len(branch.output_columns()) != arity:
+                raise ResolutionError(
+                    "set operation branches have different column counts"
+                )
+        order_by = [
+            self._resolve_setop_order_item(o, branches[0]) for o in stmt.order_by
+        ]
+        return SetOpBlock(stmt.op, branches, order_by)
+
+    def _resolve_setop_order_item(
+        self, item: ast.OrderItem, first_branch: QueryNode
+    ) -> ast.OrderItem:
+        columns = first_branch.output_columns()
+        if isinstance(item.expr, ast.Literal) and isinstance(item.expr.value, int):
+            pos = item.expr.value
+            if not 1 <= pos <= len(columns):
+                raise ResolutionError(f"ORDER BY position {pos} out of range")
+            return ast.OrderItem(ast.ColumnRef(None, columns[pos - 1]), item.descending)
+        return item.clone()
+
+    # -- SELECT blocks ---------------------------------------------------------
+
+    def _build_select(self, stmt: ast.SelectStmt, parent: Optional[_Scope]) -> QueryBlock:
+        block = QueryBlock()
+        scope = _Scope(parent)
+        extra_conjuncts: list[ast.Expr] = []
+        for table_expr in stmt.from_items:
+            self._add_table_expr(block, scope, table_expr, extra_conjuncts, parent)
+
+        # WHERE: resolve, normalise, split into conjuncts, extract ROWNUM.
+        conjuncts = list(extra_conjuncts)
+        if stmt.where is not None:
+            where = self._resolve_expr(stmt.where, scope, block)
+            conjuncts.extend(ast.conjuncts_of(exprutil.normalize_predicate(where)))
+        block.where_conjuncts, block.rownum_limit = _extract_rownum(conjuncts)
+
+        # Select list with star expansion and alias assignment.
+        block.distinct = stmt.distinct
+        block.select_items = self._build_select_items(stmt.select_items, scope, block)
+
+        block.group_by = [
+            self._resolve_expr(e, scope, block, select_items=block.select_items)
+            for e in stmt.group_by
+        ]
+        if stmt.grouping_sets is not None:
+            # The engine rolls grouping columns up to NULL per set, which
+            # requires each grouping expression to be a plain column.
+            for expr in block.group_by:
+                if not isinstance(expr, ast.ColumnRef):
+                    raise UnsupportedError(
+                        "ROLLUP/CUBE/GROUPING SETS support plain column "
+                        "grouping expressions only"
+                    )
+            block.grouping_sets = [list(s) for s in stmt.grouping_sets]
+        if stmt.having is not None:
+            having = self._resolve_expr(stmt.having, scope, block,
+                                        select_items=block.select_items)
+            block.having_conjuncts = ast.conjuncts_of(
+                exprutil.normalize_predicate(having)
+            )
+        block.order_by = [
+            self._resolve_order_item(o, scope, block) for o in stmt.order_by
+        ]
+        return block
+
+    def _add_table_expr(
+        self,
+        block: QueryBlock,
+        scope: _Scope,
+        table_expr: ast.TableExpr,
+        extra_conjuncts: list[ast.Expr],
+        parent: Optional[_Scope],
+    ) -> None:
+        if isinstance(table_expr, ast.TableName):
+            table = self._catalog.table(table_expr.name)
+            alias = table_expr.alias or table.name
+            item = FromItem(alias, table.name, table=table)
+            block.from_items.append(item)
+            # Base tables expose the ROWID pseudo-column (group-by view
+            # merging groups on it, as Q11 in the paper does).
+            scope.add(alias, table.column_names + ["rowid"])
+            return
+        if isinstance(table_expr, ast.DerivedTable):
+            node = self.build_node(table_expr.query, parent)
+            alias = table_expr.alias or FromItem.fresh_alias("vw")
+            item = FromItem(alias, node)
+            block.from_items.append(item)
+            scope.add(alias, node.output_columns())
+            return
+        if isinstance(table_expr, ast.JoinExpr):
+            self._add_join_expr(block, scope, table_expr, extra_conjuncts, parent)
+            return
+        raise UnsupportedError(
+            f"unsupported FROM element {type(table_expr).__name__}"
+        )
+
+    def _add_join_expr(
+        self,
+        block: QueryBlock,
+        scope: _Scope,
+        join: ast.JoinExpr,
+        extra_conjuncts: list[ast.Expr],
+        parent: Optional[_Scope],
+    ) -> None:
+        if join.kind == "FULL":
+            raise UnsupportedError("FULL OUTER JOIN is not supported")
+        if join.kind == "RIGHT":
+            # Mirror into a LEFT join: swap operands.
+            join = ast.JoinExpr(join.right, join.left, "LEFT", join.condition)
+
+        self._add_table_expr(block, scope, join.left, extra_conjuncts, parent)
+        before_aliases = {item.alias for item in block.from_items}
+        self._add_table_expr(block, scope, join.right, extra_conjuncts, parent)
+        new_items = [
+            item for item in block.from_items if item.alias not in before_aliases
+        ]
+        if join.kind == "CROSS":
+            return
+        condition = self._resolve_expr(join.condition, scope, block)
+        condition = exprutil.normalize_predicate(condition)
+        on_conjuncts = ast.conjuncts_of(condition)
+        if join.kind == "INNER":
+            extra_conjuncts.extend(on_conjuncts)
+            return
+        # LEFT join: the entire right operand becomes the null-supplying
+        # side.  We only support a single from-item on the right (a table
+        # or derived table), which covers the paper's query classes.
+        if len(new_items) != 1:
+            raise UnsupportedError(
+                "outer join with a compound right operand is not supported; "
+                "wrap it in an inline view"
+            )
+        right_item = new_items[0]
+        right_item.join_type = "LEFT"
+        right_item.join_conjuncts = on_conjuncts
+
+    # -- select list ----------------------------------------------------------
+
+    def _build_select_items(
+        self,
+        items: list[ast.SelectItem],
+        scope: _Scope,
+        block: QueryBlock,
+    ) -> list[ast.SelectItem]:
+        result: list[ast.SelectItem] = []
+        used_names: set[str] = set()
+        for item in items:
+            if isinstance(item.expr, ast.Star):
+                for from_item in block.from_items:
+                    if item.expr.qualifier not in (None, from_item.alias):
+                        continue
+                    for column in from_item.output_columns():
+                        result.append(
+                            ast.SelectItem(
+                                ast.ColumnRef(from_item.alias, column),
+                                _unique_name(column, used_names),
+                            )
+                        )
+                if item.expr.qualifier and not any(
+                    f.alias == item.expr.qualifier for f in block.from_items
+                ):
+                    raise ResolutionError(
+                        f"unknown alias {item.expr.qualifier!r} in select list"
+                    )
+                continue
+            expr = self._resolve_expr(item.expr, scope, block)
+            name = item.alias or _derived_name(expr, len(result))
+            result.append(ast.SelectItem(expr, _unique_name(name, used_names)))
+        return result
+
+    def _resolve_order_item(
+        self, item: ast.OrderItem, scope: _Scope, block: QueryBlock
+    ) -> ast.OrderItem:
+        if isinstance(item.expr, ast.Literal) and isinstance(item.expr.value, int):
+            pos = item.expr.value
+            if not 1 <= pos <= len(block.select_items):
+                raise ResolutionError(f"ORDER BY position {pos} out of range")
+            return ast.OrderItem(
+                block.select_items[pos - 1].expr.clone(), item.descending
+            )
+        expr = self._resolve_expr(
+            item.expr, scope, block, select_items=block.select_items
+        )
+        return ast.OrderItem(expr, item.descending)
+
+    # -- expression resolution -------------------------------------------------
+
+    def _resolve_expr(
+        self,
+        expr: ast.Expr,
+        scope: _Scope,
+        block: QueryBlock,
+        select_items: Optional[list[ast.SelectItem]] = None,
+    ) -> ast.Expr:
+        def replace(node: ast.Expr) -> Optional[ast.Expr]:
+            if isinstance(node, ast.ColumnRef):
+                return self._resolve_column(node, scope, select_items)
+            if isinstance(node, ast.SubqueryExpr) and not isinstance(
+                node.query, QueryNode
+            ):
+                built = self.build_node(node.query, scope)
+                self._check_subquery_arity(node, built)
+                return ast.SubqueryExpr(
+                    node.kind,
+                    built,
+                    node.left.clone() if node.left is not None else None,
+                    node.op,
+                    node.quantifier,
+                    node.negated,
+                )
+            return None
+
+        return exprutil.map_expr(expr, replace)
+
+    def _check_subquery_arity(self, node: ast.SubqueryExpr, built: QueryNode) -> None:
+        arity = len(built.output_columns())
+        if node.kind in ("IN", "QUANTIFIED"):
+            left_arity = (
+                len(node.left.items) if isinstance(node.left, ast.RowExpr) else 1
+            )
+            if arity != left_arity:
+                raise ResolutionError(
+                    f"subquery returns {arity} columns, expected {left_arity}"
+                )
+        elif node.kind == "SCALAR" and arity != 1:
+            raise ResolutionError("scalar subquery must return one column")
+
+    def _resolve_column(
+        self,
+        ref: ast.ColumnRef,
+        scope: _Scope,
+        select_items: Optional[list[ast.SelectItem]],
+    ) -> Optional[ast.Expr]:
+        if ref.qualifier is not None:
+            columns = scope.columns_of(ref.qualifier)
+            if columns is None:
+                raise ResolutionError(f"unknown alias {ref.qualifier!r}")
+            if ref.name not in columns:
+                raise ResolutionError(
+                    f"no column {ref.name!r} in {ref.qualifier!r}"
+                )
+            return None
+        if ref.name == "rownum":
+            return _RownumRef()
+        alias = scope.resolve_unqualified(ref.name)
+        if alias is not None:
+            return ast.ColumnRef(alias, ref.name)
+        # GROUP BY / HAVING / ORDER BY may reference select aliases.
+        if select_items is not None:
+            for item in select_items:
+                if item.alias == ref.name:
+                    return item.expr.clone()
+        raise ResolutionError(f"cannot resolve column {ref.name!r}")
+
+
+class _RownumRef(ast.ColumnRef):
+    """Marker for a resolved ROWNUM pseudo-column reference."""
+
+    def __init__(self) -> None:
+        super().__init__(None, "rownum")
+
+    def clone(self) -> "_RownumRef":
+        return _RownumRef()
+
+
+def _extract_rownum(conjuncts: list[ast.Expr]) -> tuple[list[ast.Expr], Optional[int]]:
+    """Pull ``ROWNUM < n`` / ``ROWNUM <= n`` out of the conjunct list and
+    return the remaining conjuncts plus the row limit."""
+    remaining: list[ast.Expr] = []
+    limit: Optional[int] = None
+    for conjunct in conjuncts:
+        bound = _rownum_bound(conjunct)
+        if bound is None:
+            if any(isinstance(n, _RownumRef) for n in conjunct.walk()):
+                raise UnsupportedError(
+                    "ROWNUM is only supported as 'ROWNUM < n' or 'ROWNUM <= n'"
+                )
+            remaining.append(conjunct)
+        else:
+            limit = bound if limit is None else min(limit, bound)
+    return remaining, limit
+
+
+def _rownum_bound(conjunct: ast.Expr) -> Optional[int]:
+    if not isinstance(conjunct, ast.BinOp):
+        return None
+    left, right, op = conjunct.left, conjunct.right, conjunct.op
+    if isinstance(right, _RownumRef) and isinstance(left, ast.Literal):
+        left, right = right, left
+        op = ast.MIRRORED_COMPARISON[op]
+    if not (isinstance(left, _RownumRef) and isinstance(right, ast.Literal)):
+        return None
+    if not isinstance(right.value, int):
+        return None
+    if op == "<":
+        return max(0, right.value - 1)
+    if op == "<=":
+        return max(0, right.value)
+    if op == "=" and right.value == 1:
+        return 1
+    return None
+
+
+def _derived_name(expr: ast.Expr, position: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    return f"col_{position + 1}"
+
+
+def _unique_name(name: str, used: set[str]) -> str:
+    candidate = name
+    suffix = 1
+    while candidate in used:
+        suffix += 1
+        candidate = f"{name}_{suffix}"
+    used.add(candidate)
+    return candidate

@@ -1,0 +1,16 @@
+"""SQL front end: lexer, AST, recursive-descent parser, and renderer."""
+
+from .lexer import tokenize
+from .parser import parse_ddl, parse_expression, parse_query, parse_statement
+from .render import render_expr, render_literal, render_statement
+
+__all__ = [
+    "tokenize",
+    "parse_query",
+    "parse_ddl",
+    "parse_statement",
+    "parse_expression",
+    "render_expr",
+    "render_literal",
+    "render_statement",
+]

@@ -1,0 +1,183 @@
+"""Hand-written SQL lexer.
+
+Converts a SQL string into a list of :class:`~repro.sql.tokens.Token`.
+Supports line comments (``--``), block comments (``/* */``), single-quoted
+string literals with doubled-quote escaping, and numeric literals with an
+optional fraction and exponent.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*, returning tokens terminated by a single EOF token."""
+    return _Lexer(text).run()
+
+
+class _Lexer:
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+        self._tokens: list[Token] = []
+
+    def run(self) -> list[Token]:
+        while self._pos < len(self._text):
+            ch = self._text[self._pos]
+            if ch in " \t\r\n":
+                self._advance()
+            elif self._match_ahead("--"):
+                self._skip_line_comment()
+            elif self._match_ahead("/*"):
+                self._skip_block_comment()
+            elif ch == "'":
+                self._lex_string()
+            elif ch.isdigit() or (ch == "." and self._peek_is_digit(1)):
+                self._lex_number()
+            elif ch.isalpha() or ch == "_" or ch == '"':
+                self._lex_word()
+            else:
+                self._lex_symbol()
+        self._emit(TokenType.EOF, "")
+        return self._tokens
+
+    # -- character helpers -------------------------------------------------
+
+    def _advance(self) -> str:
+        ch = self._text[self._pos]
+        self._pos += 1
+        if ch == "\n":
+            self._line += 1
+            self._col = 1
+        else:
+            self._col += 1
+        return ch
+
+    def _match_ahead(self, s: str) -> bool:
+        return self._text.startswith(s, self._pos)
+
+    def _peek_is_digit(self, offset: int) -> bool:
+        idx = self._pos + offset
+        return idx < len(self._text) and self._text[idx].isdigit()
+
+    def _emit(self, type_: TokenType, value: str, line: int = 0, col: int = 0) -> None:
+        self._tokens.append(
+            Token(type_, value, line or self._line, col or self._col)
+        )
+
+    # -- token scanners ----------------------------------------------------
+
+    def _skip_line_comment(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos] != "\n":
+            self._advance()
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_col = self._line, self._col
+        self._advance()
+        self._advance()
+        while not self._match_ahead("*/"):
+            if self._pos >= len(self._text):
+                raise LexError("unterminated block comment", start_line, start_col)
+            self._advance()
+        self._advance()
+        self._advance()
+
+    def _lex_string(self) -> None:
+        line, col = self._line, self._col
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise LexError("unterminated string literal", line, col)
+            ch = self._advance()
+            if ch == "'":
+                if self._pos < len(self._text) and self._text[self._pos] == "'":
+                    chars.append("'")
+                    self._advance()
+                else:
+                    break
+            else:
+                chars.append(ch)
+        self._tokens.append(Token(TokenType.STRING, "".join(chars), line, col))
+
+    def _lex_number(self) -> None:
+        line, col = self._line, self._col
+        chars: list[str] = []
+        while self._pos < len(self._text) and (
+            self._text[self._pos].isdigit() or self._text[self._pos] == "."
+        ):
+            chars.append(self._advance())
+        if self._pos < len(self._text) and self._text[self._pos] in "eE":
+            chars.append(self._advance())
+            if self._pos < len(self._text) and self._text[self._pos] in "+-":
+                chars.append(self._advance())
+            if self._pos >= len(self._text) or not self._text[self._pos].isdigit():
+                raise LexError("malformed numeric exponent", line, col)
+            while self._pos < len(self._text) and self._text[self._pos].isdigit():
+                chars.append(self._advance())
+        value = "".join(chars)
+        if value.count(".") > 1:
+            raise LexError(f"malformed number {value!r}", line, col)
+        self._tokens.append(Token(TokenType.NUMBER, value, line, col))
+
+    def _lex_word(self) -> None:
+        line, col = self._line, self._col
+        if self._text[self._pos] == '"':
+            # Delimited identifier: preserve spelling, never a keyword.
+            self._advance()
+            chars = []
+            while True:
+                if self._pos >= len(self._text):
+                    raise LexError("unterminated quoted identifier", line, col)
+                ch = self._advance()
+                if ch == '"':
+                    break
+                chars.append(ch)
+            self._tokens.append(Token(TokenType.IDENT, "".join(chars), line, col))
+            return
+        chars = []
+        while self._pos < len(self._text) and (
+            self._text[self._pos].isalnum()
+            or self._text[self._pos] in "_$#"
+        ):
+            chars.append(self._advance())
+        word = "".join(chars)
+        upper = word.upper()
+        if upper in KEYWORDS:
+            self._tokens.append(Token(TokenType.KEYWORD, upper, line, col))
+        else:
+            self._tokens.append(Token(TokenType.IDENT, word, line, col))
+
+    def _lex_symbol(self) -> None:
+        line, col = self._line, self._col
+        for op in MULTI_CHAR_OPERATORS:
+            if self._match_ahead(op):
+                for _ in op:
+                    self._advance()
+                self._tokens.append(Token(TokenType.OPERATOR, op, line, col))
+                return
+        ch = self._advance()
+        if ch == ",":
+            self._tokens.append(Token(TokenType.COMMA, ",", line, col))
+        elif ch == ".":
+            self._tokens.append(Token(TokenType.DOT, ".", line, col))
+        elif ch == "(":
+            self._tokens.append(Token(TokenType.LPAREN, "(", line, col))
+        elif ch == ")":
+            self._tokens.append(Token(TokenType.RPAREN, ")", line, col))
+        elif ch == "*":
+            self._tokens.append(Token(TokenType.STAR, "*", line, col))
+        elif ch in SINGLE_CHAR_OPERATORS:
+            self._tokens.append(Token(TokenType.OPERATOR, ch, line, col))
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)

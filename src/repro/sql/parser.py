@@ -1,0 +1,733 @@
+"""Recursive-descent parser for the SQL subset.
+
+Entry points:
+
+* :func:`parse_query` — parse one SELECT / set-operation query.
+* :func:`parse_ddl` — parse CREATE TABLE / CREATE INDEX.
+* :func:`parse_statement` — dispatch on the first keyword.
+
+The grammar follows Oracle precedence conventions for the constructs we
+support; set operators (UNION [ALL] / INTERSECT / MINUS / EXCEPT) have
+equal precedence and associate left, as in Oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+#: Numeric type names accepted in DDL.
+_NUMERIC_TYPES = {"INT", "INTEGER", "NUMBER", "FLOAT"}
+_STRING_TYPES = {"VARCHAR", "VARCHAR2", "CHAR"}
+
+
+def parse_query(sql: str) -> ast.Statement:
+    """Parse a query string into a SelectStmt or SetOpStmt."""
+    parser = _Parser(tokenize(sql))
+    stmt = parser.parse_query()
+    parser.expect_eof()
+    return stmt
+
+
+def parse_ddl(sql: str) -> ast.DdlStatement:
+    """Parse a CREATE TABLE or CREATE INDEX statement."""
+    parser = _Parser(tokenize(sql))
+    stmt = parser.parse_ddl()
+    parser.expect_eof()
+    return stmt
+
+
+def parse_statement(sql: str):
+    """Parse either a query or a DDL statement, dispatching on keyword."""
+    tokens = tokenize(sql)
+    parser = _Parser(tokens)
+    if parser.peek().is_keyword("CREATE"):
+        stmt = parser.parse_ddl()
+    else:
+        stmt = parser.parse_query()
+    parser.expect_eof()
+    return stmt
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone expression (used by tests and the workload
+    generator)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    """Token-stream cursor with one-token lookahead plus helpers."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- cursor helpers ----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, *words: str) -> Optional[Token]:
+        if self.peek().is_keyword(*words):
+            return self.next()
+        return None
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.next()
+        if not (token.type is TokenType.KEYWORD and token.value == word):
+            raise ParseError(
+                f"expected {word}, found {token.value!r}", token.line, token.column
+            )
+        return token
+
+    def accept(self, type_: TokenType, value: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.type is type_ and (value is None or token.value == value):
+            return self.next()
+        return None
+
+    def expect(self, type_: TokenType, what: str) -> Token:
+        token = self.next()
+        if token.type is not type_:
+            raise ParseError(
+                f"expected {what}, found {token.value!r}", token.line, token.column
+            )
+        return token
+
+    def expect_eof(self) -> None:
+        token = self.peek()
+        if token.type is not TokenType.EOF:
+            raise ParseError(
+                f"unexpected trailing input {token.value!r}", token.line, token.column
+            )
+
+    def _error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, token.line, token.column)
+
+    # -- queries -----------------------------------------------------------
+
+    def parse_query(self) -> ast.Statement:
+        stmt: ast.Statement = self._parse_query_term()
+        while True:
+            if self.accept_keyword("UNION"):
+                op = "UNION ALL" if self.accept_keyword("ALL") else "UNION"
+            elif self.accept_keyword("INTERSECT"):
+                op = "INTERSECT"
+            elif self.accept_keyword("MINUS") or self.accept_keyword("EXCEPT"):
+                op = "MINUS"
+            else:
+                break
+            right = self._parse_query_term()
+            stmt = ast.SetOpStmt(op, stmt, right)
+        # A trailing ORDER BY belongs to the whole query expression, not
+        # the last set-operation branch.
+        if self.peek().is_keyword("ORDER"):
+            stmt.order_by = self._parse_order_by()
+        return stmt
+
+    def _parse_query_term(self) -> ast.Statement:
+        if self.accept(TokenType.LPAREN):
+            inner = self.parse_query()
+            self.expect(TokenType.RPAREN, "')'")
+            return inner
+        return self._parse_select()
+
+    def _parse_select(self) -> ast.SelectStmt:
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.accept_keyword("DISTINCT"):
+            distinct = True
+        elif self.accept_keyword("ALL"):
+            pass
+        select_items = self._parse_select_list()
+        self.expect_keyword("FROM")
+        from_items = self._parse_from_list()
+        where = self.parse_expr() if self.accept_keyword("WHERE") else None
+        group_by: list[ast.Expr] = []
+        grouping_sets = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by, grouping_sets = self._parse_group_by()
+        having = self.parse_expr() if self.accept_keyword("HAVING") else None
+        # ORDER BY is attached by parse_query, which owns the trailing
+        # clause of the whole query expression (set operations included).
+        return ast.SelectStmt(
+            select_items=select_items,
+            from_items=from_items,
+            distinct=distinct,
+            where=where,
+            group_by=group_by,
+            grouping_sets=grouping_sets,
+            having=having,
+        )
+
+    def _parse_group_by(self):
+        """GROUP BY list, with ROLLUP / CUBE / GROUPING SETS expanded
+        into explicit grouping sets (lists of indices into the distinct
+        grouping-expression list)."""
+        from .render import render_expr
+
+        if self.peek().type is TokenType.IDENT and self.peek().value.upper() in (
+            "ROLLUP", "CUBE", "GROUPING",
+        ):
+            word = self.next().value.upper()
+            if word == "GROUPING":
+                sets_token = self.expect(TokenType.IDENT, "SETS")
+                if sets_token.value.upper() != "SETS":
+                    raise ParseError(
+                        "expected SETS after GROUPING",
+                        sets_token.line, sets_token.column,
+                    )
+                raw_sets = self._parse_grouping_sets_body()
+            else:
+                exprs = self._parse_paren_expr_list()
+                if word == "ROLLUP":
+                    raw_sets = [exprs[:k] for k in range(len(exprs), -1, -1)]
+                else:  # CUBE
+                    raw_sets = []
+                    n = len(exprs)
+                    for mask in range((1 << n) - 1, -1, -1):
+                        raw_sets.append(
+                            [exprs[i] for i in range(n) if mask & (1 << i)]
+                        )
+            # Deduplicate the expressions, index the sets.
+            group_by: list[ast.Expr] = []
+            index_of: dict[str, int] = {}
+            for expr in (e for s in raw_sets for e in s):
+                key = render_expr(expr)
+                if key not in index_of:
+                    index_of[key] = len(group_by)
+                    group_by.append(expr)
+            grouping_sets = [
+                sorted({index_of[render_expr(e)] for e in s}) for s in raw_sets
+            ]
+            return group_by, grouping_sets
+
+        group_by = [self.parse_expr()]
+        while self.accept(TokenType.COMMA):
+            group_by.append(self.parse_expr())
+        return group_by, None
+
+    def _parse_paren_expr_list(self) -> list[ast.Expr]:
+        self.expect(TokenType.LPAREN, "'('")
+        exprs = [self.parse_expr()]
+        while self.accept(TokenType.COMMA):
+            exprs.append(self.parse_expr())
+        self.expect(TokenType.RPAREN, "')'")
+        return exprs
+
+    def _parse_grouping_sets_body(self) -> list[list[ast.Expr]]:
+        self.expect(TokenType.LPAREN, "'('")
+        sets: list[list[ast.Expr]] = []
+        while True:
+            if self.accept(TokenType.LPAREN):
+                if self.accept(TokenType.RPAREN):
+                    sets.append([])  # the grand-total set: ()
+                else:
+                    exprs = [self.parse_expr()]
+                    while self.accept(TokenType.COMMA):
+                        exprs.append(self.parse_expr())
+                    self.expect(TokenType.RPAREN, "')'")
+                    sets.append(exprs)
+            else:
+                sets.append([self.parse_expr()])
+            if not self.accept(TokenType.COMMA):
+                break
+        self.expect(TokenType.RPAREN, "')'")
+        return sets
+
+    def _parse_select_list(self) -> list[ast.SelectItem]:
+        items = [self._parse_select_item()]
+        while self.accept(TokenType.COMMA):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        if self.accept(TokenType.STAR):
+            return ast.SelectItem(ast.Star())
+        # alias.* form
+        if (
+            self.peek().type is TokenType.IDENT
+            and self.peek(1).type is TokenType.DOT
+            and self.peek(2).type is TokenType.STAR
+        ):
+            qualifier = self.next().value
+            self.next()
+            self.next()
+            return ast.SelectItem(ast.Star(qualifier))
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect(TokenType.IDENT, "alias").value.lower()
+        elif self.peek().type is TokenType.IDENT:
+            alias = self.next().value.lower()
+        return ast.SelectItem(expr, alias)
+
+    def _parse_order_by(self) -> list[ast.OrderItem]:
+        self.expect_keyword("ORDER")
+        self.expect_keyword("BY")
+        items = [self._parse_order_item()]
+        while self.accept(TokenType.COMMA):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr, descending)
+
+    # -- FROM clause ---------------------------------------------------------
+
+    def _parse_from_list(self) -> list[ast.TableExpr]:
+        items = [self._parse_join_chain()]
+        while self.accept(TokenType.COMMA):
+            items.append(self._parse_join_chain())
+        return items
+
+    def _parse_join_chain(self) -> ast.TableExpr:
+        left = self._parse_table_primary()
+        while True:
+            kind = self._peek_join_kind()
+            if kind is None:
+                return left
+            self._consume_join_keywords(kind)
+            right = self._parse_table_primary()
+            condition = None
+            if kind != "CROSS":
+                self.expect_keyword("ON")
+                condition = self.parse_expr()
+            left = ast.JoinExpr(left, right, kind, condition)
+
+    def _peek_join_kind(self) -> Optional[str]:
+        token = self.peek()
+        if token.is_keyword("JOIN", "INNER"):
+            return "INNER"
+        if token.is_keyword("LEFT"):
+            return "LEFT"
+        if token.is_keyword("RIGHT"):
+            return "RIGHT"
+        if token.is_keyword("FULL"):
+            return "FULL"
+        if token.is_keyword("CROSS"):
+            return "CROSS"
+        return None
+
+    def _consume_join_keywords(self, kind: str) -> None:
+        if kind == "INNER":
+            self.accept_keyword("INNER")
+        else:
+            self.next()  # LEFT / RIGHT / FULL / CROSS
+            self.accept_keyword("OUTER")
+        self.expect_keyword("JOIN")
+
+    def _parse_table_primary(self) -> ast.TableExpr:
+        if self.accept(TokenType.LPAREN):
+            # Either a derived table or a parenthesised join chain.
+            if self.peek().is_keyword("SELECT") or self.peek().type is TokenType.LPAREN:
+                query = self.parse_query()
+                self.expect(TokenType.RPAREN, "')'")
+                alias = self._parse_optional_alias()
+                return ast.DerivedTable(query, alias)
+            inner = self._parse_join_chain()
+            self.expect(TokenType.RPAREN, "')'")
+            return inner
+        name_token = self.expect(TokenType.IDENT, "table name")
+        alias = self._parse_optional_alias()
+        return ast.TableName(name_token.value, alias)
+
+    def _parse_optional_alias(self) -> Optional[str]:
+        if self.accept_keyword("AS"):
+            return self.expect(TokenType.IDENT, "alias").value.lower()
+        if self.peek().type is TokenType.IDENT:
+            return self.next().value.lower()
+        return None
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        operands = [self._parse_and()]
+        while self.accept_keyword("OR"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.Or(operands)
+
+    def _parse_and(self) -> ast.Expr:
+        operands = [self._parse_not()]
+        while self.accept_keyword("AND"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return ast.And(operands)
+
+    def _parse_not(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.Not(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expr:
+        if self.peek().is_keyword("EXISTS"):
+            self.next()
+            self.expect(TokenType.LPAREN, "'('")
+            query = self.parse_query()
+            self.expect(TokenType.RPAREN, "')'")
+            return ast.SubqueryExpr("EXISTS", query)
+
+        left = self._parse_additive()
+
+        token = self.peek()
+        negated = False
+        if token.is_keyword("NOT"):
+            follow = self.peek(1)
+            if follow.is_keyword("IN", "BETWEEN", "LIKE"):
+                self.next()
+                negated = True
+                token = self.peek()
+
+        if token.is_keyword("IN"):
+            self.next()
+            return self._parse_in_rhs(left, negated)
+        if token.is_keyword("BETWEEN"):
+            self.next()
+            low = self._parse_additive()
+            self.expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(left, low, high, negated)
+        if token.is_keyword("LIKE"):
+            self.next()
+            pattern = self._parse_additive()
+            return ast.Like(left, pattern, negated)
+        if token.is_keyword("IS"):
+            self.next()
+            is_negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return ast.IsNull(left, is_negated)
+        if token.type is TokenType.OPERATOR and token.value in (
+            "=", "<>", "!=", "<", "<=", ">", ">=",
+        ):
+            op = self.next().value
+            if self.peek().is_keyword("ANY", "SOME", "ALL"):
+                quantifier = self.next().value
+                if quantifier == "SOME":
+                    quantifier = "ANY"
+                self.expect(TokenType.LPAREN, "'('")
+                query = self.parse_query()
+                self.expect(TokenType.RPAREN, "')'")
+                return ast.SubqueryExpr(
+                    "QUANTIFIED", query, left=left, op=op, quantifier=quantifier
+                )
+            right = self._parse_additive()
+            return ast.BinOp(op, left, right)
+        return left
+
+    def _parse_in_rhs(self, left: ast.Expr, negated: bool) -> ast.Expr:
+        self.expect(TokenType.LPAREN, "'('")
+        if self.peek().is_keyword("SELECT") or (
+            self.peek().type is TokenType.LPAREN and self._paren_starts_query()
+        ):
+            query = self.parse_query()
+            self.expect(TokenType.RPAREN, "')'")
+            return ast.SubqueryExpr("IN", query, left=left, negated=negated)
+        items = [self.parse_expr()]
+        while self.accept(TokenType.COMMA):
+            items.append(self.parse_expr())
+        self.expect(TokenType.RPAREN, "')'")
+        return ast.InList(left, items, negated)
+
+    def _paren_starts_query(self) -> bool:
+        """Lookahead: does the upcoming parenthesised group open a SELECT?"""
+        depth = 0
+        offset = 0
+        while True:
+            token = self.peek(offset)
+            if token.type is TokenType.EOF:
+                return False
+            if token.type is TokenType.LPAREN:
+                depth += 1
+                offset += 1
+                continue
+            return token.is_keyword("SELECT")
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-", "||"):
+                op = self.next().value
+                right = self._parse_multiplicative()
+                left = ast.BinOp(op, left, right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            if token.type is TokenType.STAR or (
+                token.type is TokenType.OPERATOR and token.value in ("/", "%")
+            ):
+                op = "*" if token.type is TokenType.STAR else token.value
+                self.next()
+                right = self._parse_unary()
+                left = ast.BinOp(op, left, right)
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.accept(TokenType.OPERATOR, "-"):
+            operand = self._parse_unary()
+            if isinstance(operand, ast.Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return ast.Literal(-operand.value)
+            return ast.BinOp("-", ast.Literal(0), operand)
+        if self.accept(TokenType.OPERATOR, "+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.peek()
+
+        if token.type is TokenType.NUMBER:
+            self.next()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+
+        if token.type is TokenType.STRING:
+            self.next()
+            return ast.Literal(token.value)
+
+        if token.is_keyword("NULL"):
+            self.next()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self.next()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self.next()
+            return ast.Literal(False)
+
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+
+        if token.type is TokenType.LPAREN:
+            self.next()
+            if self.peek().is_keyword("SELECT"):
+                query = self.parse_query()
+                self.expect(TokenType.RPAREN, "')'")
+                return ast.SubqueryExpr("SCALAR", query)
+            first = self.parse_expr()
+            if self.accept(TokenType.COMMA):
+                items = [first, self.parse_expr()]
+                while self.accept(TokenType.COMMA):
+                    items.append(self.parse_expr())
+                self.expect(TokenType.RPAREN, "')'")
+                return ast.RowExpr(items)
+            self.expect(TokenType.RPAREN, "')'")
+            return first
+
+        if token.type is TokenType.IDENT:
+            return self._parse_name_or_call()
+
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+    def _parse_case(self) -> ast.Expr:
+        self.expect_keyword("CASE")
+        whens: list[tuple[ast.Expr, ast.Expr]] = []
+        while self.accept_keyword("WHEN"):
+            cond = self.parse_expr()
+            self.expect_keyword("THEN")
+            result = self.parse_expr()
+            whens.append((cond, result))
+        default = self.parse_expr() if self.accept_keyword("ELSE") else None
+        self.expect_keyword("END")
+        if not whens:
+            raise self._error("CASE requires at least one WHEN branch")
+        return ast.Case(whens, default)
+
+    def _parse_name_or_call(self) -> ast.Expr:
+        name = self.next().value
+
+        if self.peek().type is TokenType.LPAREN:
+            return self._parse_func_call(name)
+
+        if self.accept(TokenType.DOT):
+            column = self.expect(TokenType.IDENT, "column name")
+            return ast.ColumnRef(name, column.value)
+
+        return ast.ColumnRef(None, name)
+
+    def _parse_func_call(self, name: str) -> ast.Expr:
+        self.expect(TokenType.LPAREN, "'('")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        args: list[ast.Expr] = []
+        if self.accept(TokenType.STAR):
+            args.append(ast.Star())
+        elif self.peek().type is not TokenType.RPAREN:
+            args.append(self.parse_expr())
+            while self.accept(TokenType.COMMA):
+                args.append(self.parse_expr())
+        self.expect(TokenType.RPAREN, "')'")
+        call = ast.FuncCall(name, args, distinct)
+        if self.peek().is_keyword("OVER"):
+            return self._parse_window(call)
+        return call
+
+    def _parse_window(self, func: ast.FuncCall) -> ast.WindowFunc:
+        self.expect_keyword("OVER")
+        self.expect(TokenType.LPAREN, "'('")
+        partition_by: list[ast.Expr] = []
+        order_by: list[ast.OrderItem] = []
+        frame: Optional[ast.WindowFrame] = None
+        if self.accept_keyword("PARTITION"):
+            self.expect_keyword("BY")
+            partition_by.append(self.parse_expr())
+            while self.accept(TokenType.COMMA):
+                partition_by.append(self.parse_expr())
+        if self.peek().is_keyword("ORDER"):
+            order_by = self._parse_order_by()
+        if self.peek().is_keyword("ROWS", "RANGE"):
+            frame = self._parse_frame()
+        self.expect(TokenType.RPAREN, "')'")
+        return ast.WindowFunc(func, partition_by, order_by, frame)
+
+    def _parse_frame(self) -> ast.WindowFrame:
+        kind = self.next().value  # ROWS or RANGE
+        self.expect_keyword("BETWEEN")
+        start = self._parse_frame_bound()
+        self.expect_keyword("AND")
+        end = self._parse_frame_bound()
+        return ast.WindowFrame(kind, start, end)
+
+    def _parse_frame_bound(self) -> object:
+        if self.accept_keyword("UNBOUNDED"):
+            direction = self.next().value  # PRECEDING or FOLLOWING
+            return f"UNBOUNDED {direction}"
+        if self.accept_keyword("CURRENT"):
+            self.expect_keyword("ROW")
+            return "CURRENT ROW"
+        offset_token = self.expect(TokenType.NUMBER, "frame offset")
+        direction = self.next().value  # PRECEDING or FOLLOWING
+        return (direction, int(offset_token.value))
+
+    # -- DDL -----------------------------------------------------------------
+
+    def parse_ddl(self) -> ast.DdlStatement:
+        self.expect_keyword("CREATE")
+        if self.accept_keyword("TABLE"):
+            return self._parse_create_table()
+        unique = bool(self.accept_keyword("UNIQUE"))
+        self.expect_keyword("INDEX")
+        return self._parse_create_index(unique)
+
+    def _parse_create_table(self) -> ast.CreateTable:
+        name = self.expect(TokenType.IDENT, "table name").value
+        self.expect(TokenType.LPAREN, "'('")
+        columns: list[ast.ColumnSpec] = []
+        constraints: list[ast.TableConstraint] = []
+        while True:
+            if self.peek().is_keyword("PRIMARY", "UNIQUE", "FOREIGN", "CONSTRAINT"):
+                constraints.append(self._parse_table_constraint())
+            else:
+                columns.append(self._parse_column_spec())
+            if not self.accept(TokenType.COMMA):
+                break
+        self.expect(TokenType.RPAREN, "')'")
+        return ast.CreateTable(name, columns, constraints)
+
+    def _parse_column_spec(self) -> ast.ColumnSpec:
+        name = self.expect(TokenType.IDENT, "column name").value
+        type_token = self.next()
+        if type_token.type not in (TokenType.KEYWORD, TokenType.IDENT):
+            raise ParseError(
+                f"expected type name, found {type_token.value!r}",
+                type_token.line,
+                type_token.column,
+            )
+        type_name = type_token.value.upper()
+        if type_name not in _NUMERIC_TYPES | _STRING_TYPES | {"DATE"}:
+            raise ParseError(
+                f"unsupported column type {type_name!r}",
+                type_token.line,
+                type_token.column,
+            )
+        # optional length/precision: VARCHAR(30), NUMBER(10, 2)
+        if self.accept(TokenType.LPAREN):
+            self.expect(TokenType.NUMBER, "length")
+            if self.accept(TokenType.COMMA):
+                self.expect(TokenType.NUMBER, "scale")
+            self.expect(TokenType.RPAREN, "')'")
+        spec = ast.ColumnSpec(name, type_name)
+        while True:
+            if self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                spec.not_null = True
+            elif self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                spec.primary_key = True
+                spec.not_null = True
+            elif self.accept_keyword("UNIQUE"):
+                spec.unique = True
+            elif self.accept_keyword("REFERENCES"):
+                ref_table = self.expect(TokenType.IDENT, "table name").value.lower()
+                self.expect(TokenType.LPAREN, "'('")
+                ref_col = self.expect(TokenType.IDENT, "column name").value.lower()
+                self.expect(TokenType.RPAREN, "')'")
+                spec.references = (ref_table, ref_col)
+            else:
+                return spec
+
+    def _parse_table_constraint(self) -> ast.TableConstraint:
+        if self.accept_keyword("CONSTRAINT"):
+            self.expect(TokenType.IDENT, "constraint name")
+        if self.accept_keyword("PRIMARY"):
+            self.expect_keyword("KEY")
+            return ast.TableConstraint("PRIMARY KEY", self._parse_column_name_list())
+        if self.accept_keyword("UNIQUE"):
+            return ast.TableConstraint("UNIQUE", self._parse_column_name_list())
+        self.expect_keyword("FOREIGN")
+        self.expect_keyword("KEY")
+        columns = self._parse_column_name_list()
+        self.expect_keyword("REFERENCES")
+        ref_table = self.expect(TokenType.IDENT, "table name").value.lower()
+        ref_columns = self._parse_column_name_list()
+        return ast.TableConstraint("FOREIGN KEY", columns, ref_table, ref_columns)
+
+    def _parse_column_name_list(self) -> list[str]:
+        self.expect(TokenType.LPAREN, "'('")
+        names = [self.expect(TokenType.IDENT, "column name").value.lower()]
+        while self.accept(TokenType.COMMA):
+            names.append(self.expect(TokenType.IDENT, "column name").value.lower())
+        self.expect(TokenType.RPAREN, "')'")
+        return names
+
+    def _parse_create_index(self, unique: bool) -> ast.CreateIndex:
+        name = self.expect(TokenType.IDENT, "index name").value
+        self.expect_keyword("ON")
+        table = self.expect(TokenType.IDENT, "table name").value
+        columns = self._parse_column_name_list()
+        return ast.CreateIndex(name, table, columns, unique)

@@ -1,0 +1,72 @@
+"""Token definitions for the SQL lexer.
+
+The lexer produces a flat stream of :class:`Token` objects.  Keywords are
+recognised case-insensitively and carry their canonical upper-case form in
+``Token.value``; identifiers preserve the original spelling (SQL folding to
+upper case is not applied because our catalog is case-insensitive anyway).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by the lexer."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"      # = <> != < <= > >= + - * / ||
+    COMMA = "comma"
+    DOT = "dot"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    STAR = "star"              # '*' (also used as multiply; parser decides)
+    EOF = "eof"
+
+
+#: Reserved words.  Anything lexed as a word that appears here becomes a
+#: KEYWORD token; everything else becomes IDENT.
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "DISTINCT", "ALL", "AS", "AND", "OR", "NOT", "IN", "EXISTS",
+    "BETWEEN", "LIKE", "IS", "NULL", "ANY", "SOME",
+    "UNION", "INTERSECT", "MINUS", "EXCEPT",
+    "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "ON", "CROSS",
+    "ASC", "DESC", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "OVER", "PARTITION", "ROWS", "RANGE", "UNBOUNDED", "PRECEDING",
+    "FOLLOWING", "CURRENT", "ROW",
+    "CREATE", "TABLE", "INDEX", "UNIQUE", "PRIMARY", "KEY", "FOREIGN",
+    "REFERENCES", "CONSTRAINT", "INT", "INTEGER", "NUMBER", "FLOAT",
+    "VARCHAR", "VARCHAR2", "CHAR", "DATE",
+    "TRUE", "FALSE",
+})
+
+#: Multi-character operators, longest first so the lexer can match greedily.
+MULTI_CHAR_OPERATORS = ("<=", ">=", "<>", "!=", "||")
+
+SINGLE_CHAR_OPERATORS = frozenset("=<>+-/%")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``value`` is the canonical text: upper-cased for keywords, raw for
+    identifiers and literals (string literals exclude the quotes).
+    """
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        """Return True if this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

@@ -1,0 +1,22 @@
+"""Query transformations: heuristic (§2.1) and cost-based (§2.2)."""
+
+from .base import TargetRef, Transformation, apply_everywhere, find_block
+from .pipeline import (
+    COST_BASED_ORDER,
+    HEURISTIC_ORDER,
+    apply_heuristic_phase,
+    build_cost_based_transformations,
+    build_heuristic_transformations,
+)
+
+__all__ = [
+    "TargetRef",
+    "Transformation",
+    "apply_everywhere",
+    "find_block",
+    "COST_BASED_ORDER",
+    "HEURISTIC_ORDER",
+    "apply_heuristic_phase",
+    "build_cost_based_transformations",
+    "build_heuristic_transformations",
+]

@@ -1,0 +1,23 @@
+"""Cost-based transformations — §2.2 of the paper."""
+
+from .groupby_merge import GroupByViewMerging
+from .groupby_placement import GroupByPlacement
+from .join_factorization import JoinFactorization
+from .jppd import JoinPredicatePushdown
+from .or_expansion import OrExpansion
+from .predicate_pullup import PredicatePullup
+from .setop_to_join import SetOpIntoJoin
+from .star_transformation import StarTransformation
+from .unnest_view import UnnestSubqueryToView
+
+__all__ = [
+    "GroupByViewMerging",
+    "GroupByPlacement",
+    "JoinFactorization",
+    "JoinPredicatePushdown",
+    "OrExpansion",
+    "PredicatePullup",
+    "SetOpIntoJoin",
+    "StarTransformation",
+    "UnnestSubqueryToView",
+]

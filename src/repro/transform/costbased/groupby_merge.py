@@ -1,0 +1,180 @@
+"""Group-by and distinct view merging (§2.2.2, "group-by pull-up").
+
+Merges an inline view containing GROUP BY (or SELECT DISTINCT) into its
+containing block, delaying the aggregation until after the outer joins
+(Q10 -> Q11 in the paper).  The merged block groups on the view's
+grouping expressions plus the ROWID of every other from-item of the outer
+block, which keeps exactly one output row per (outer row x view group) —
+the same device the paper shows with ``j.rowid`` in Q11.
+
+Outer predicates referencing the view's aggregate outputs move into the
+merged block's HAVING, rewritten against the real aggregate expressions.
+
+Delayed aggregation may be better (joins and filters shrink the data
+before aggregation) or worse (early aggregation shrinks the join input) —
+"these tradeoffs are the reason why this decision must be cost-based".
+
+Legality conditions enforced here:
+
+* the view is INNER-joined and not laterally correlated;
+* the view has no HAVING, ROWNUM, window functions, or nested set-ops
+  (HAVING could be supported by moving it along; kept out for clarity);
+* the containing block has no aggregation of its own (merging would nest
+  two aggregation levels) and no ROWNUM;
+* every other from-item of the outer block is a base table or a derived
+  table (whose output columns stand in for ROWID);
+* aggregate outputs of the view are referenced only in places that can
+  move to HAVING (WHERE conjuncts / select list), never in join
+  conditions of non-inner items.
+"""
+
+from __future__ import annotations
+
+from ...errors import TransformError
+from ...qtree import exprutil
+from ...qtree.blocks import FromItem, QueryBlock, QueryNode
+from ...sql import ast
+from ..base import TargetRef, Transformation, ensure_unique_aliases
+
+
+class GroupByViewMerging(Transformation):
+    name = "groupby_merge"
+    cost_based = True
+
+    def find_targets(self, root: QueryNode) -> list[TargetRef]:
+        targets = []
+        for block in root.iter_blocks():
+            if not isinstance(block, QueryBlock):
+                continue
+            for item in block.from_items:
+                if self._mergeable(block, item):
+                    targets.append(TargetRef(block.name, "view", item.alias))
+        return targets
+
+    def apply(self, root: QueryNode, target: TargetRef) -> QueryNode:
+        block = self._require_block(root, target)
+        item = block.from_item(str(target.key))
+        if not self._mergeable(block, item):
+            raise TransformError(f"{self.name}: view is not mergeable")
+        merge_groupby_view(block, item)
+        return root
+
+    # -- legality ----------------------------------------------------------------
+
+    def _mergeable(self, block: QueryBlock, item: FromItem) -> bool:
+        if not item.is_derived or not item.is_inner:
+            return False
+        view = item.subquery
+        if not isinstance(view, QueryBlock):
+            return False
+        if not (view.group_by or view.distinct or view.has_aggregates):
+            return False
+        if view.having_conjuncts or view.rownum_limit is not None:
+            return False
+        if view.grouping_sets is not None:
+            return False  # rollup views cannot be flattened into a join
+        if view.is_correlated:
+            return False
+        if any(
+            isinstance(n, ast.WindowFunc)
+            for sel in view.select_items
+            for n in sel.expr.walk()
+        ):
+            return False
+        if view.distinct and (view.group_by or view.has_aggregates):
+            return False
+        # Outer block must not itself aggregate, group, or limit.
+        if block.group_by or block.having_conjuncts or block.has_aggregates:
+            return False
+        if block.rownum_limit is not None:
+            return False
+        if block.distinct:
+            return False
+
+        agg_columns = self._aggregate_columns(view)
+        # Aggregate outputs may not appear in non-inner join conditions or
+        # inside subqueries (they must be movable to HAVING).
+        for other in block.from_items:
+            for conjunct in other.join_conjuncts:
+                if self._references_columns(conjunct, item.alias, agg_columns):
+                    return False
+        for conjunct in block.where_conjuncts:
+            if ast.contains_subquery(conjunct) and self._references_columns(
+                conjunct, item.alias, agg_columns
+            ):
+                return False
+        for order in block.order_by:
+            if self._references_columns(order.expr, item.alias, agg_columns):
+                # ORDER BY on an aggregate output is fine (it stays in the
+                # select list) — allowed.
+                continue
+        return True
+
+    @staticmethod
+    def _aggregate_columns(view: QueryBlock) -> set[str]:
+        return {
+            name
+            for name, sel in zip(view.output_columns(), view.select_items)
+            if ast.contains_aggregate(sel.expr)
+        }
+
+    @staticmethod
+    def _references_columns(expr: ast.Expr, alias: str, columns: set[str]) -> bool:
+        return any(
+            ref.qualifier == alias and ref.name in columns
+            for ref in ast.column_refs_in(expr)
+        )
+
+
+def merge_groupby_view(block: QueryBlock, item: FromItem) -> None:
+    """Perform the merge.  See class docstring for the construction."""
+    view = item.subquery
+    assert isinstance(view, QueryBlock)
+    position = block.from_items.index(item)
+    block.from_items.remove(item)
+    ensure_unique_aliases(block, view)
+
+    agg_columns = {
+        name
+        for name, sel in zip(view.output_columns(), view.select_items)
+        if ast.contains_aggregate(sel.expr)
+    }
+    mapping: dict[tuple[str, str], ast.Expr] = {}
+    for name, sel in zip(view.output_columns(), view.select_items):
+        mapping[(item.alias, name)] = sel.expr
+
+    # Split outer WHERE: conjuncts touching aggregate outputs -> HAVING.
+    stays: list[ast.Expr] = []
+    moves_to_having: list[ast.Expr] = []
+    for conjunct in block.where_conjuncts:
+        if GroupByViewMerging._references_columns(
+            conjunct, item.alias, agg_columns
+        ):
+            moves_to_having.append(conjunct)
+        else:
+            stays.append(conjunct)
+    block.where_conjuncts = stays
+
+    # Grouping keys: the view's group-by expressions (or its select
+    # expressions for a DISTINCT view) plus a key per remaining from-item.
+    group_by: list[ast.Expr] = []
+    if view.group_by:
+        group_by.extend(g.clone() for g in view.group_by)
+    elif view.distinct:
+        group_by.extend(sel.expr.clone() for sel in view.select_items)
+    for other in block.from_items:
+        if other.is_base_table:
+            group_by.append(ast.ColumnRef(other.alias, "rowid"))
+        else:
+            group_by.extend(
+                ast.ColumnRef(other.alias, column)
+                for column in other.output_columns()
+            )
+
+    exprutil.substitute_columns_in_node(block, mapping)
+    block.having_conjuncts = [
+        exprutil.substitute_columns(c, mapping) for c in moves_to_having
+    ]
+    block.group_by = group_by
+    block.from_items[position:position] = view.from_items
+    block.where_conjuncts.extend(view.where_conjuncts)

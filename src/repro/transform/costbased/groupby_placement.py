@@ -1,0 +1,281 @@
+"""Group-by placement / eager aggregation (§2.2.4).
+
+Pushes the GROUP BY of a block down past its joins onto one from-item
+(the one the aggregate arguments come from), creating a pre-aggregating
+inline view — Yan & Larson's eager aggregation [23, 24], which the paper
+adopts as its group-by pushdown.
+
+Given ``SELECT g.., agg(t.x) FROM t, R.. WHERE .. GROUP BY g..`` where all
+aggregate arguments reference only ``t``, the transformation produces::
+
+    SELECT g.., agg'(vt.px) FROM (SELECT keys, t-group-cols,
+                                         partial aggs, COUNT(*) cnt
+                                  FROM t WHERE t-local preds
+                                  GROUP BY keys, t-group-cols) vt, R..
+    WHERE ..  GROUP BY g..
+
+with the partial-aggregate rewrites SUM->SUM, MIN->MIN, MAX->MAX,
+COUNT(x)->SUM(cnt_x), COUNT(*)->SUM(cnt), AVG->SUM(sum_x)/SUM(cnt_x).
+The view groups on every ``t`` column referenced outside the aggregates
+(join keys, group-by columns), so the outer query is unchanged apart from
+re-pointing those references at the view.
+
+This is always semantically valid (each view row stands for ``cnt`` base
+rows; joins replicate whole groups); whether it *pays* depends on how
+much the pre-aggregation shrinks ``t`` versus the group-count blowup —
+"in Oracle, the GBP transformation is never applied using heuristics"
+(§4.3).
+
+DISTINCT aggregates are not eligible (their partials do not compose).
+"""
+
+from __future__ import annotations
+
+from ...errors import TransformError
+from ...qtree import exprutil
+from ...qtree.blocks import FromItem, QueryBlock, QueryNode
+from ...sql import ast
+from ..base import TargetRef, Transformation
+
+
+class GroupByPlacement(Transformation):
+    name = "groupby_placement"
+    cost_based = True
+
+    def find_targets(self, root: QueryNode) -> list[TargetRef]:
+        targets = []
+        for block in root.iter_blocks():
+            if not isinstance(block, QueryBlock):
+                continue
+            alias = self._eligible_alias(block)
+            if alias is not None:
+                targets.append(TargetRef(block.name, "view", alias))
+        return targets
+
+    def apply(self, root: QueryNode, target: TargetRef) -> QueryNode:
+        block = self._require_block(root, target)
+        if self._eligible_alias(block) != target.key:
+            raise TransformError(f"{self.name}: target no longer eligible")
+        push_group_by(block, str(target.key))
+        return root
+
+    # -- eligibility ---------------------------------------------------------------
+
+    def _eligible_alias(self, block: QueryBlock):
+        if not block.group_by or not block.has_aggregates:
+            return None
+        if block.rownum_limit is not None or block.distinct:
+            return None
+        if block.grouping_sets is not None:
+            return None
+        if len(block.from_items) < 2:
+            return None
+        if any(
+            isinstance(n, ast.WindowFunc)
+            for sel in block.select_items
+            for n in sel.expr.walk()
+        ):
+            return None
+        aggregates = _aggregate_calls(block)
+        if not aggregates:
+            return None
+        target_aliases: set[str] = set()
+        for call in aggregates:
+            if call.distinct:
+                return None
+            if call.args and isinstance(call.args[0], ast.Star):
+                continue  # COUNT(*) composes with any target
+            refs = exprutil.aliases_referenced(call.args[0]) if call.args else set()
+            if len(refs) != 1:
+                return None
+            target_aliases |= refs
+        if len(target_aliases) > 1:
+            return None
+        if target_aliases:
+            candidates = [next(iter(target_aliases))]
+        else:
+            # COUNT(*)-only query: any inner base table can pre-aggregate.
+            candidates = [
+                item.alias for item in block.from_items if item.is_base_table
+            ]
+        for alias in candidates:
+            if self._alias_pushable(block, alias):
+                return alias
+        return None
+
+    def _alias_pushable(self, block: QueryBlock, alias: str) -> bool:
+        try:
+            item = block.from_item(alias)
+        except TransformError:
+            return False
+        if not item.is_base_table or not item.is_inner:
+            return False
+        # Every conjunct referencing the item must be free of subqueries
+        # (they would need re-correlation through the view).
+        for conjunct in block.where_conjuncts:
+            refs = exprutil.aliases_referenced(conjunct) & block.aliases()
+            if alias not in refs:
+                continue
+            if ast.contains_subquery(conjunct):
+                return False
+        for other in block.from_items:
+            if other is item:
+                continue
+            for conjunct in other.join_conjuncts:
+                if alias in exprutil.aliases_referenced(conjunct):
+                    return False  # keep it simple: no outer-join interplay
+        # HAVING may reference aggregates (rewritten) and group-by columns.
+        return True
+
+
+def _aggregate_calls(block: QueryBlock) -> list[ast.FuncCall]:
+    calls: list[ast.FuncCall] = []
+
+    def collect(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.WindowFunc):
+            return
+        if isinstance(expr, ast.FuncCall) and expr.is_aggregate:
+            calls.append(expr)
+            return
+        for child in expr.children():
+            collect(child)
+
+    for sel in block.select_items:
+        collect(sel.expr)
+    for conjunct in block.having_conjuncts:
+        collect(conjunct)
+    for order in block.order_by:
+        collect(order.expr)
+    return calls
+
+
+def push_group_by(block: QueryBlock, alias: str) -> FromItem:
+    """Apply eager aggregation onto from-item *alias* of *block*."""
+    item = block.from_item(alias)
+    view_alias = FromItem.fresh_alias("gbp")
+
+    # Partition the block's conjuncts.
+    local: list[ast.Expr] = []
+    rest: list[ast.Expr] = []
+    for conjunct in block.where_conjuncts:
+        refs = exprutil.aliases_referenced(conjunct) & block.aliases()
+        if refs == {alias} and not ast.contains_subquery(conjunct):
+            local.append(conjunct)
+        else:
+            rest.append(conjunct)
+    block.where_conjuncts = rest
+
+    # Columns of `alias` referenced outside aggregate arguments become the
+    # view's grouping keys.
+    key_columns = _non_aggregate_columns(block, alias)
+
+    view = QueryBlock(
+        from_items=[FromItem(item.alias, item.source, item.table)],
+        where_conjuncts=local,
+    )
+    mapping: dict[tuple[str, str], ast.Expr] = {}
+    for i, column in enumerate(sorted(key_columns)):
+        out = f"k_{i}"
+        view.select_items.append(
+            ast.SelectItem(ast.ColumnRef(alias, column), out)
+        )
+        view.group_by.append(ast.ColumnRef(alias, column))
+        mapping[(alias, column)] = ast.ColumnRef(view_alias, out)
+
+    # Partial aggregates + rewrite of the outer aggregate calls.
+    partials: dict[str, str] = {}  # rendered partial -> output column
+
+    def partial_column(call: ast.FuncCall) -> str:
+        from ...sql.render import render_expr
+
+        key = render_expr(call)
+        out = partials.get(key)
+        if out is None:
+            out = f"p_{len(partials)}"
+            partials[key] = out
+            view.select_items.append(ast.SelectItem(call, out))
+        return out
+
+    def rewrite_aggregates(expr: ast.Expr):
+        def replace(node: ast.Expr):
+            if isinstance(node, ast.WindowFunc):
+                return node.clone()
+            if not (isinstance(node, ast.FuncCall) and node.is_aggregate):
+                return None
+            if node.args and isinstance(node.args[0], ast.Star):
+                out = partial_column(ast.FuncCall("COUNT", [ast.Star()]))
+                return ast.FuncCall("SUM", [ast.ColumnRef(view_alias, out)])
+            arg = node.args[0]
+            if node.name in ("MIN", "MAX"):
+                out = partial_column(ast.FuncCall(node.name, [arg.clone()]))
+                return ast.FuncCall(node.name, [ast.ColumnRef(view_alias, out)])
+            if node.name == "SUM":
+                out = partial_column(ast.FuncCall("SUM", [arg.clone()]))
+                return ast.FuncCall("SUM", [ast.ColumnRef(view_alias, out)])
+            if node.name == "COUNT":
+                out = partial_column(ast.FuncCall("COUNT", [arg.clone()]))
+                return ast.FuncCall("SUM", [ast.ColumnRef(view_alias, out)])
+            if node.name == "AVG":
+                sum_out = partial_column(ast.FuncCall("SUM", [arg.clone()]))
+                cnt_out = partial_column(ast.FuncCall("COUNT", [arg.clone()]))
+                return ast.BinOp(
+                    "/",
+                    ast.FuncCall("SUM", [ast.ColumnRef(view_alias, sum_out)]),
+                    ast.FuncCall("SUM", [ast.ColumnRef(view_alias, cnt_out)]),
+                )
+            raise TransformError(f"cannot push aggregate {node.name}")
+
+        return exprutil.map_expr(expr, replace)
+
+    block.select_items = [
+        ast.SelectItem(rewrite_aggregates(sel.expr), sel.alias)
+        for sel in block.select_items
+    ]
+    block.having_conjuncts = [
+        rewrite_aggregates(c) for c in block.having_conjuncts
+    ]
+    block.order_by = [
+        ast.OrderItem(rewrite_aggregates(o.expr), o.descending)
+        for o in block.order_by
+    ]
+
+    # Re-point remaining references at the view.
+    exprutil.substitute_columns_in_node(block, mapping)
+    block.group_by = [exprutil.substitute_columns(g, mapping) for g in block.group_by]
+
+    position = block.from_items.index(item)
+    block.from_items[position] = FromItem(view_alias, view)
+    return block.from_items[position]
+
+
+def _non_aggregate_columns(block: QueryBlock, alias: str) -> set[str]:
+    """Columns of *alias* referenced anywhere outside aggregate args."""
+    columns: set[str] = set()
+
+    def scan(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.FuncCall) and expr.is_aggregate:
+            return
+        if isinstance(expr, ast.ColumnRef):
+            if expr.qualifier == alias:
+                columns.add(expr.name)
+            return
+        for child in expr.children():
+            scan(child)
+        if isinstance(expr, ast.SubqueryExpr) and hasattr(
+            expr.query, "correlation_refs"
+        ):
+            for ref in expr.query.correlation_refs():
+                if ref.qualifier == alias:
+                    columns.add(ref.name)
+
+    for sel in block.select_items:
+        scan(sel.expr)
+    for conjunct in block.where_conjuncts:
+        scan(conjunct)
+    for conjunct in block.having_conjuncts:
+        scan(conjunct)
+    for g in block.group_by:
+        scan(g)
+    for o in block.order_by:
+        scan(o.expr)
+    return columns

@@ -1,0 +1,374 @@
+"""Join factorization (§2.2.5).
+
+For a UNION ALL whose branches all join one common table with compatible
+predicates, the table is pulled out of the branches into a containing
+query block and joined once to the residual UNION ALL view (Q14 -> Q15),
+saving one scan of the common table per extra branch.
+
+Conditions for a table ``t`` (matched by table name + alias across
+branches):
+
+* every branch is an SPJ query block containing ``t`` INNER-joined;
+* ``t``'s single-table predicates render identically in every branch;
+* every join predicate connecting ``t`` to the branch's other tables is
+  an equality ``t.col = other_expr`` — it is replaced by a view output
+  column carrying the branch-specific ``other_expr``.  Predicates that
+  cannot be pulled this way keep the factorization from applying (the
+  paper's "leave them inside and use JPPD" refinement is future work in
+  the paper as well);
+* select items referencing ``t`` must be identical in all branches (they
+  are then produced by the factored table directly).
+
+The transformed node is a new query block, so when the UNION ALL was the
+root the root changes — callers use the returned node.
+"""
+
+from __future__ import annotations
+
+from ...errors import TransformError
+from ...qtree import exprutil
+from ...qtree.blocks import FromItem, QueryBlock, QueryNode, SetOpBlock
+from ...sql import ast
+from ...sql.render import render_expr
+from ..base import TargetRef, Transformation, iter_nodes_with_replacers
+
+
+class JoinFactorization(Transformation):
+    name = "join_factorization"
+    cost_based = True
+
+    def find_targets(self, root: QueryNode) -> list[TargetRef]:
+        targets = []
+        for node, _replace in iter_nodes_with_replacers(root):
+            if isinstance(node, SetOpBlock) and node.op == "UNION ALL":
+                if _common_tables(node):
+                    targets.append(TargetRef(node.name, "setop", node.name))
+        return targets
+
+    def apply(self, root: QueryNode, target: TargetRef) -> QueryNode:
+        replaced = None
+        for node, replace in iter_nodes_with_replacers(root):
+            if isinstance(node, SetOpBlock) and node.name == target.key:
+                commons = _common_tables(node)
+                if not commons:
+                    raise TransformError(f"{self.name}: nothing to factor")
+                new_block = factor_out(node, commons[0])
+                if replace is None:
+                    return new_block  # the set-op was the root
+                replace(new_block)
+                replaced = new_block
+                break
+        if replaced is None:
+            raise TransformError(f"{self.name}: set-op {target.key!r} not found")
+        return root
+
+
+def _common_tables(node: SetOpBlock) -> list[str]:
+    """Aliases (with identical table and local predicates) present in all
+    branches and eligible for factoring."""
+    if len(node.branches) < 2:
+        return []
+    branches = node.branches
+    if not all(
+        isinstance(b, QueryBlock) and b.is_spj and b.rownum_limit is None
+        for b in branches
+    ):
+        return []
+    first = branches[0]
+    assert isinstance(first, QueryBlock)
+    result = []
+    for item in first.from_items:
+        if not item.is_base_table or not item.is_inner:
+            continue
+        if all(
+            _matching_item(b, item) is not None for b in branches[1:]
+        ) and _factorable(node, item.alias) is not None:
+            result.append(item.alias)
+    return result
+
+
+def _matching_item(block: QueryBlock, item: FromItem):
+    for candidate in block.from_items:
+        if (
+            candidate.alias == item.alias
+            and candidate.is_base_table
+            and candidate.is_inner
+            and candidate.table_name == item.table_name
+        ):
+            return candidate
+    return None
+
+
+def _branch_conjuncts(block: QueryBlock, alias: str):
+    """Split a branch's conjuncts into (local-to-alias, joins-with-alias,
+    others); None if any alias conjunct is not factorable."""
+    local: list[ast.Expr] = []
+    joins: list[tuple[ast.ColumnRef, ast.Expr, ast.Expr]] = []
+    others: list[ast.Expr] = []
+    for conjunct in block.where_conjuncts:
+        refs = exprutil.aliases_referenced(conjunct)
+        if alias not in refs:
+            others.append(conjunct)
+            continue
+        if ast.contains_subquery(conjunct):
+            return None
+        if refs == {alias}:
+            local.append(conjunct)
+            continue
+        matched = _t_equality(conjunct, alias)
+        if matched is None:
+            return None
+        joins.append(matched + (conjunct,))
+    return local, joins, others
+
+
+def _t_equality(conjunct: ast.Expr, alias: str):
+    """Match ``alias.col = expr-not-referencing-alias``."""
+    if not isinstance(conjunct, ast.BinOp) or conjunct.op != "=":
+        return None
+    left, right = conjunct.left, conjunct.right
+    if isinstance(right, ast.ColumnRef) and right.qualifier == alias:
+        left, right = right, left
+    if not (isinstance(left, ast.ColumnRef) and left.qualifier == alias):
+        return None
+    if alias in exprutil.aliases_referenced(right):
+        return None
+    return (left, right)
+
+
+def _factorable(node: SetOpBlock, alias: str) -> Optional[str]:
+    """Returns the factorization mode: ``"pulled"`` when the join
+    predicates can be pulled out into the containing block (identical
+    shape across branches), ``"lateral"`` when they must stay inside the
+    UNION ALL view (the paper's "many cases where the common tables can
+    be factorised out but the corresponding join predicates cannot be
+    pulled out ... left inside the UNION ALL view, which is then joined
+    by the technique described in the join predicate pushdown section",
+    §2.2.5), or None when the table cannot be factored at all."""
+    signatures = []
+    join_shapes = []
+    select_shapes = []
+    pullable = True
+    for branch in node.branches:
+        assert isinstance(branch, QueryBlock)
+        split = _branch_conjuncts(branch, alias)
+        if split is None:
+            # join conjuncts that are not simple t-equalities can still
+            # stay inside a lateral view, as long as they are ordinary
+            # conjuncts (no subqueries touching the factored table)
+            if any(
+                alias in exprutil.aliases_referenced(c)
+                and ast.contains_subquery(c)
+                for c in branch.where_conjuncts
+            ):
+                return None
+            pullable = False
+            local = [
+                c for c in branch.where_conjuncts
+                if exprutil.aliases_referenced(c) == {alias}
+                and not ast.contains_subquery(c)
+            ]
+            joins = []
+        else:
+            local, joins, _others = split
+        signatures.append(sorted(render_expr(c) for c in local))
+        join_shapes.append(
+            sorted((render_expr(col), "=") for col, _expr, _c in joins)
+        )
+        shape = []
+        for sel in branch.select_items:
+            refs = exprutil.aliases_referenced(sel.expr)
+            if alias in refs:
+                if refs != {alias}:
+                    return None
+                shape.append(render_expr(sel.expr))
+            else:
+                shape.append(None)
+        select_shapes.append(shape)
+    if len({tuple(s) for s in signatures}) != 1:
+        return None
+    if len({tuple(s) for s in select_shapes}) != 1:
+        return None
+    if pullable and len({tuple(s) for s in join_shapes}) == 1:
+        return "pulled"
+    return "lateral"
+
+
+def factor_out(node: SetOpBlock, alias: str) -> QueryBlock:
+    """Build the factored query block around the residual UNION ALL."""
+    mode = _factorable(node, alias)
+    if mode == "lateral":
+        return _factor_out_lateral(node, alias)
+    view_alias = FromItem.fresh_alias("jf")
+    first = node.branches[0]
+    assert isinstance(first, QueryBlock)
+    factored_item = _matching_item(first, first.from_item(alias))
+    assert factored_item is not None
+
+    first_split = _branch_conjuncts(first, alias)
+    assert first_split is not None
+    local_conjuncts = [c.clone() for c in first_split[0]]
+
+    # Outer select: positions produced by t directly vs by the view.
+    outer_selects: list[ast.SelectItem] = []
+    view_width = 0
+    view_positions: list[int] = []
+    for i, sel in enumerate(first.select_items):
+        if alias in exprutil.aliases_referenced(sel.expr):
+            outer_selects.append(ast.SelectItem(sel.expr.clone(), sel.alias))
+        else:
+            column = f"c_{view_width}"
+            view_width += 1
+            view_positions.append(i)
+            outer_selects.append(
+                ast.SelectItem(ast.ColumnRef(view_alias, column), sel.alias)
+            )
+
+    # Join conjuncts: t.col = V.j_k, with each branch exposing its own
+    # expression under j_k.
+    join_templates = []
+    for col, _expr, _conjunct in sorted(
+        first_split[1], key=lambda t: render_expr(t[0])
+    ):
+        join_templates.append(col)
+
+    outer_joins = [
+        ast.BinOp("=", col.clone(), ast.ColumnRef(view_alias, f"j_{k}"))
+        for k, col in enumerate(join_templates)
+    ]
+
+    new_branches: list[QueryNode] = []
+    for branch in node.branches:
+        assert isinstance(branch, QueryBlock)
+        split = _branch_conjuncts(branch, alias)
+        assert split is not None
+        _local, joins, others = split
+        selects = [
+            ast.SelectItem(branch.select_items[i].expr.clone(), f"c_{k}")
+            for k, i in enumerate(view_positions)
+        ]
+        joins_sorted = sorted(joins, key=lambda t: render_expr(t[0]))
+        for k, (_col, expr, _conjunct) in enumerate(joins_sorted):
+            selects.append(ast.SelectItem(expr.clone(), f"j_{k}"))
+        new_branches.append(
+            QueryBlock(
+                select_items=selects,
+                from_items=[
+                    item.clone()
+                    for item in branch.from_items
+                    if item.alias != alias
+                ],
+                where_conjuncts=[c.clone() for c in others],
+            )
+        )
+
+    view = SetOpBlock("UNION ALL", new_branches)
+    # Set-op ORDER BY items name output columns; re-point them at the new
+    # outer select expressions.
+    by_name = {
+        name: sel.expr
+        for name, sel in zip(node.output_columns(), outer_selects)
+    }
+    order_by = []
+    for o in node.order_by:
+        if isinstance(o.expr, ast.ColumnRef) and o.expr.qualifier is None \
+                and o.expr.name in by_name:
+            order_by.append(ast.OrderItem(by_name[o.expr.name].clone(),
+                                          o.descending))
+        else:
+            order_by.append(o.clone())
+    outer = QueryBlock(
+        select_items=outer_selects,
+        from_items=[
+            FromItem(alias, factored_item.source, factored_item.table),
+            FromItem(view_alias, view),
+        ],
+        where_conjuncts=local_conjuncts + outer_joins,
+        order_by=order_by,
+    )
+    return outer
+
+
+def _factor_out_lateral(node: SetOpBlock, alias: str) -> QueryBlock:
+    """Factorization with the join predicates *left inside* the UNION ALL
+    view: the branches keep their conjuncts referencing the factored
+    table, which becomes a correlation into the containing block — the
+    view is lateral and joins by nested loops after the factored table
+    (the JPPD technique, §2.2.5's "next release" refinement)."""
+    view_alias = FromItem.fresh_alias("jf")
+    first = node.branches[0]
+    assert isinstance(first, QueryBlock)
+    factored_item = _matching_item(first, first.from_item(alias))
+    assert factored_item is not None
+
+    local_rendered = {
+        render_expr(c)
+        for c in first.where_conjuncts
+        if exprutil.aliases_referenced(c) == {alias}
+    }
+
+    outer_selects: list[ast.SelectItem] = []
+    view_width = 0
+    view_positions: list[int] = []
+    for i, sel in enumerate(first.select_items):
+        if alias in exprutil.aliases_referenced(sel.expr):
+            outer_selects.append(ast.SelectItem(sel.expr.clone(), sel.alias))
+        else:
+            column = f"c_{view_width}"
+            view_width += 1
+            view_positions.append(i)
+            outer_selects.append(
+                ast.SelectItem(ast.ColumnRef(view_alias, column), sel.alias)
+            )
+
+    local_conjuncts = []
+    new_branches: list[QueryNode] = []
+    for branch_index, branch in enumerate(node.branches):
+        assert isinstance(branch, QueryBlock)
+        keep: list[ast.Expr] = []
+        for conjunct in branch.where_conjuncts:
+            refs = exprutil.aliases_referenced(conjunct)
+            if refs == {alias}:
+                if branch_index == 0:
+                    local_conjuncts.append(conjunct.clone())
+                continue  # shared local predicate moves to the outer block
+            keep.append(conjunct.clone())
+        selects = [
+            ast.SelectItem(branch.select_items[i].expr.clone(), f"c_{k}")
+            for k, i in enumerate(view_positions)
+        ]
+        new_branches.append(
+            QueryBlock(
+                select_items=selects,
+                from_items=[
+                    item.clone()
+                    for item in branch.from_items
+                    if item.alias != alias
+                ],
+                where_conjuncts=keep,
+            )
+        )
+
+    view = SetOpBlock("UNION ALL", new_branches)
+    by_name = {
+        name: sel.expr
+        for name, sel in zip(node.output_columns(), outer_selects)
+    }
+    order_by = []
+    for o in node.order_by:
+        if isinstance(o.expr, ast.ColumnRef) and o.expr.qualifier is None \
+                and o.expr.name in by_name:
+            order_by.append(
+                ast.OrderItem(by_name[o.expr.name].clone(), o.descending)
+            )
+        else:
+            order_by.append(o.clone())
+    return QueryBlock(
+        select_items=outer_selects,
+        from_items=[
+            FromItem(alias, factored_item.source, factored_item.table),
+            FromItem(view_alias, view),
+        ],
+        where_conjuncts=local_conjuncts,
+        order_by=order_by,
+    )

@@ -1,0 +1,239 @@
+"""Join predicate pushdown — JPPD (§2.2.3).
+
+Pushes equality join predicates connecting an inline view to outer tables
+*inside* the view, where they act as correlation: the view becomes
+lateral, must be joined by nested loops after the tables it references,
+and gains index access paths on the pushed columns (Q12 -> Q13).
+
+Applies to the view kinds the paper lists: group-by and distinct views
+(mergeable) and UNION/UNION ALL or semi-/anti-/outer-joined views
+(unmergeable).  For a set-op view the predicate is pushed into every
+branch.
+
+Additional optimization from the paper: when the pushed equi-join
+predicates cover *all* of a DISTINCT view's select columns (or all
+group-by items of an aggregate-free group-by view), the duplicate
+elimination is removed, and — when the view's outputs are not referenced
+anywhere else — the join converts to a semijoin, exactly as Q13's
+``e1.dept_id S= d.dept_id``.
+
+Pushdown on aggregate output columns is illegal and never attempted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import TransformError
+from ...qtree import exprutil
+from ...qtree.blocks import FromItem, QueryBlock, QueryNode, SetOpBlock
+from ...sql import ast
+from ...sql.render import render_expr
+from ..base import TargetRef, Transformation
+
+
+@dataclass
+class _Pushable:
+    """One conjunct eligible for pushdown into a given view."""
+
+    conjunct: ast.Expr
+    in_join_condition: bool  # True: lives in the item's ON list
+    view_column: str
+    outer_expr: ast.Expr
+
+
+class JoinPredicatePushdown(Transformation):
+    name = "jppd"
+    cost_based = True
+
+    def find_targets(self, root: QueryNode) -> list[TargetRef]:
+        targets = []
+        for block in root.iter_blocks():
+            if not isinstance(block, QueryBlock):
+                continue
+            for item in block.from_items:
+                if self._pushables(block, item):
+                    targets.append(TargetRef(block.name, "view", item.alias))
+        return targets
+
+    def apply(self, root: QueryNode, target: TargetRef) -> QueryNode:
+        block = self._require_block(root, target)
+        item = block.from_item(str(target.key))
+        pushables = self._pushables(block, item)
+        if not pushables:
+            raise TransformError(f"{self.name}: no pushable join predicates")
+        push_join_predicates(block, item, pushables)
+        return root
+
+    # -- eligibility ---------------------------------------------------------------
+
+    def _pushables(self, block: QueryBlock, item: FromItem) -> list[_Pushable]:
+        if not item.is_derived:
+            return []
+        if item.join_type == "ANTI_NA":
+            # The null-aware antijoin's condition must see NULLs; pushing
+            # it inside the view as an equality would filter them out.
+            return []
+        node = item.subquery
+        if not _view_accepts_jppd(node):
+            return []
+        if _is_lateral(block, item):
+            return []  # already pushed into
+        result: list[_Pushable] = []
+        if item.is_inner:
+            source = [(c, False) for c in block.where_conjuncts]
+        else:
+            source = [(c, True) for c in item.join_conjuncts]
+        for conjunct, in_join in source:
+            pushable = self._match_pushable(block, item, conjunct, in_join)
+            if pushable is not None:
+                result.append(pushable)
+        return result
+
+    def _match_pushable(self, block, item, conjunct, in_join):
+        pair = exprutil.equality_columns(conjunct)
+        if pair is None:
+            return None
+        left, right = pair
+        if left.qualifier == item.alias:
+            view_ref, outer_ref = left, right
+        elif right.qualifier == item.alias:
+            view_ref, outer_ref = right, left
+        else:
+            return None
+        if outer_ref.qualifier == item.alias:
+            return None
+        if outer_ref.qualifier not in block.aliases():
+            return None  # correlation parameter from an outer block
+        # The outer side must itself be freely available before the view
+        # (it will become a lateral dependency).
+        other = block.from_item(outer_ref.qualifier)
+        if not other.is_inner and item.is_inner:
+            return None
+        if not _column_pushable(item.subquery, view_ref.name):
+            return None
+        return _Pushable(conjunct, in_join, view_ref.name, outer_ref)
+
+
+def _is_lateral(block: QueryBlock, item: FromItem) -> bool:
+    return any(
+        ref.qualifier in block.aliases()
+        for ref in item.subquery.correlation_refs()
+    )
+
+
+def _view_accepts_jppd(node: QueryNode) -> bool:
+    if isinstance(node, SetOpBlock):
+        return all(
+            isinstance(b, QueryBlock) and _view_accepts_jppd(b)
+            for b in node.branches
+        )
+    assert isinstance(node, QueryBlock)
+    if node.rownum_limit is not None:
+        return False
+    if node.grouping_sets is not None:
+        # pushing a predicate below a ROLLUP changes the rolled-up
+        # aggregates; group pruning owns these views
+        return False
+    return True
+
+
+def _column_pushable(node: QueryNode, column: str) -> bool:
+    if isinstance(node, SetOpBlock):
+        return all(_column_pushable(b, column) for b in node.branches)
+    assert isinstance(node, QueryBlock)
+    if column not in node.output_columns():
+        return False
+    expr = node.select_expr_for(column)
+    if ast.contains_aggregate(expr) or isinstance(expr, ast.WindowFunc):
+        return False
+    if node.group_by and not any(
+        render_expr(expr) == render_expr(g) for g in node.group_by
+    ):
+        return False
+    return True
+
+
+def push_join_predicates(
+    block: QueryBlock, item: FromItem, pushables: list[_Pushable]
+) -> None:
+    """Apply JPPD for the given conjuncts."""
+    node = item.subquery
+
+    for pushable in pushables:
+        if pushable.in_join_condition:
+            item.join_conjuncts.remove(pushable.conjunct)
+        else:
+            block.where_conjuncts.remove(pushable.conjunct)
+        _push_into(node, pushable)
+
+    _maybe_remove_duplicate_elimination(block, item, pushables)
+
+
+def _push_into(node: QueryNode, pushable: _Pushable) -> None:
+    if isinstance(node, SetOpBlock):
+        for branch in node.branches:
+            _push_into(branch, pushable)
+        return
+    assert isinstance(node, QueryBlock)
+    inner_expr = node.select_expr_for(pushable.view_column)
+    node.where_conjuncts.append(
+        ast.BinOp("=", inner_expr.clone(), pushable.outer_expr.clone())
+    )
+
+
+def _maybe_remove_duplicate_elimination(
+    block: QueryBlock, item: FromItem, pushables: list[_Pushable]
+) -> None:
+    """Drop DISTINCT / aggregate-free GROUP BY when the pushed equalities
+    pin every deduplication key, converting to a semijoin when the view's
+    outputs are no longer referenced (§2.2.3, Q13)."""
+    node = item.subquery
+    if not isinstance(node, QueryBlock):
+        return
+    pushed_columns = {p.view_column for p in pushables}
+    if node.has_aggregates:
+        return
+    if node.distinct:
+        keys = set(node.output_columns())
+    elif node.group_by:
+        keys = {
+            name
+            for name, sel in zip(node.output_columns(), node.select_items)
+            if any(render_expr(sel.expr) == render_expr(g) for g in node.group_by)
+        }
+        if len(keys) != len(node.group_by):
+            return
+    else:
+        return
+    if not keys <= pushed_columns:
+        return
+
+    # Deduplication keys are all pinned by equality: duplicates can only
+    # multiply outer rows, so either dedupe or semijoin.
+    referenced = _view_columns_referenced(block, item)
+    if referenced:
+        return  # outputs still needed; keep DISTINCT/GROUP BY
+    node.distinct = False
+    node.group_by = []
+    if item.join_type == "INNER":
+        item.join_type = "SEMI"
+
+
+def _view_columns_referenced(block: QueryBlock, item: FromItem) -> bool:
+    exprs: list[ast.Expr] = [sel.expr for sel in block.select_items]
+    exprs.extend(block.where_conjuncts)
+    exprs.extend(block.group_by)
+    exprs.extend(block.having_conjuncts)
+    exprs.extend(o.expr for o in block.order_by)
+    for other in block.from_items:
+        exprs.extend(other.join_conjuncts)
+    for expr in exprs:
+        if item.alias in exprutil.aliases_referenced(expr):
+            return True
+    for nested in block.iter_blocks():
+        if nested is block or not isinstance(nested, QueryBlock):
+            continue
+        if any(ref.qualifier == item.alias for ref in nested.correlation_refs()):
+            return True
+    return False

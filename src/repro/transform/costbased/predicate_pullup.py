@@ -1,0 +1,146 @@
+"""Expensive-predicate pullup (§2.2.6).
+
+Pulls an expensive filter predicate (one containing a registered
+procedural / user-defined function, or a subquery) out of an inline view
+into the containing block, when the containing block has a ROWNUM
+predicate and the view contains a blocking operator (ORDER BY, GROUP BY,
+DISTINCT, window functions).  The expensive predicate is then evaluated
+lazily above the blocking operator, and the COUNT STOPKEY stops it after
+N qualifying rows instead of running it over the whole input (Q16 -> Q17).
+
+Filter-then-sort and sort-then-filter produce the same ordered stream, so
+the rewrite is always legal when the predicate's columns are exposable as
+view outputs; whether it *wins* depends on the predicate's selectivity —
+a selective predicate evaluated late forces the stop key to read far more
+sorted rows — which is why the decision is cost-based.
+
+With ``n`` expensive predicates the CBQT state space enumerates all
+2^n pull combinations (the paper's "three ways" for Q16's two
+predicates, plus the untransformed state).
+"""
+
+from __future__ import annotations
+
+from ...errors import TransformError
+from ...qtree.blocks import FromItem, QueryBlock, QueryNode
+from ...qtree import exprutil
+from ...sql import ast
+from ..base import TargetRef, Transformation
+
+
+class PredicatePullup(Transformation):
+    name = "predicate_pullup"
+    cost_based = True
+
+    def find_targets(self, root: QueryNode) -> list[TargetRef]:
+        targets = []
+        for block in root.iter_blocks():
+            if not isinstance(block, QueryBlock):
+                continue
+            if block.rownum_limit is None:
+                continue
+            for item in block.from_items:
+                for index in self._pullable_indexes(block, item):
+                    targets.append(
+                        TargetRef(block.name, "view_conjunct",
+                                  (item.alias, index))
+                    )
+        return targets
+
+    def apply(self, root: QueryNode, target: TargetRef) -> QueryNode:
+        block = self._require_block(root, target)
+        alias, index = target.key  # type: ignore[misc]
+        item = block.from_item(str(alias))
+        if index not in self._pullable_indexes(block, item):
+            raise TransformError(f"{self.name}: predicate is not pullable")
+        pull_predicate(block, item, int(index))
+        return root
+
+    # -- eligibility -------------------------------------------------------------
+
+    def _pullable_indexes(self, block: QueryBlock, item: FromItem) -> list[int]:
+        if not item.is_derived or not item.is_inner:
+            return []
+        view = item.subquery
+        if not isinstance(view, QueryBlock):
+            return []
+        if not _has_blocking_operator(view):
+            return []
+        if view.rownum_limit is not None:
+            return []
+        indexes = []
+        for i, conjunct in enumerate(view.where_conjuncts):
+            if not self._is_expensive(conjunct):
+                continue
+            if self._conjunct_exposable(view, conjunct):
+                indexes.append(i)
+        return indexes
+
+    def _is_expensive(self, conjunct: ast.Expr) -> bool:
+        if ast.contains_subquery(conjunct):
+            return True
+        return any(
+            isinstance(n, ast.FuncCall)
+            and self._catalog.is_expensive_function(n.name)
+            for n in conjunct.walk()
+        )
+
+    @staticmethod
+    def _conjunct_exposable(view: QueryBlock, conjunct: ast.Expr) -> bool:
+        # Every column used by the conjunct must belong to the view's own
+        # from-items (no correlation), and pulling past GROUP BY requires
+        # the columns to be group-by expressions.
+        refs = exprutil.aliases_referenced(conjunct)
+        if not refs <= view.bound_aliases_recursive():
+            return False
+        if view.grouping_sets is not None:
+            return False
+        if view.group_by or view.has_aggregates or view.distinct:
+            from ...sql.render import render_expr
+
+            grouped = {render_expr(g) for g in view.group_by}
+            for ref in ast.column_refs_in(conjunct):
+                if render_expr(ref) not in grouped:
+                    return False
+        return True
+
+
+def pull_predicate(block: QueryBlock, item: FromItem, index: int) -> None:
+    """Move view conjunct *index* into *block*, exposing the columns it
+    needs as (hidden) view outputs."""
+    view = item.subquery
+    assert isinstance(view, QueryBlock)
+    conjunct = view.where_conjuncts.pop(index)
+
+    output = view.output_columns()
+    mapping: dict[tuple[str, str], ast.Expr] = {}
+    for ref in ast.column_refs_in(conjunct):
+        key = (ref.qualifier, ref.name)
+        if key in mapping:
+            continue
+        # Reuse an existing output column when one selects exactly this
+        # column; otherwise append a hidden output.
+        existing = None
+        for name, sel in zip(output, view.select_items):
+            if isinstance(sel.expr, ast.ColumnRef) and sel.expr == ref:
+                existing = name
+                break
+        if existing is None:
+            existing = f"pp_{len(view.select_items)}"
+            view.select_items.append(ast.SelectItem(ref.clone(), existing))
+            output.append(existing)
+        mapping[key] = ast.ColumnRef(item.alias, existing)
+
+    block.where_conjuncts.append(
+        exprutil.substitute_columns(conjunct, mapping)
+    )
+
+
+def _has_blocking_operator(view: QueryBlock) -> bool:
+    if view.order_by or view.group_by or view.distinct or view.has_aggregates:
+        return True
+    return any(
+        isinstance(n, ast.WindowFunc)
+        for sel in view.select_items
+        for n in sel.expr.walk()
+    )

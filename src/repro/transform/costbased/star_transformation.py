@@ -1,0 +1,157 @@
+"""Star transformation (named in the paper's sequential order, §3.1).
+
+For a star-shaped block — a fact table equijoined on its foreign keys to
+several filtered dimension tables — the transformation adds redundant
+subquery predicates on the fact table's join keys::
+
+    fact.dim1_id IN (SELECT d.pk FROM dim1 d WHERE <dim1 filters>)
+    fact.dim2_id IN (SELECT d.pk FROM dim2 d WHERE <dim2 filters>)
+
+The added predicates are implied by the existing joins and filters, so
+the rewrite is always sound; their value is that the fact table can be
+reduced *before* the dimension joins run.  Oracle combines bitmap indexes
+of the rowid sets; in this engine the subqueries evaluate once each
+(tuple-iteration semantics with a cached result set) and filter the fact
+scan, which models the same early-reduction effect.
+
+Whether the extra subquery evaluations pay for the join-input reduction
+depends on the dimension filters' selectivity — a cost-based decision.
+
+Recognition requires declared foreign keys from the fact table to each
+dimension's primary/unique key, at least two qualifying dimensions, and
+at least one plain filter on each dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import TransformError
+from ...qtree import exprutil
+from ...qtree.blocks import FromItem, QueryBlock, QueryNode
+from ...sql import ast
+from ..base import TargetRef, Transformation
+
+#: minimum number of filtered dimensions for a star shape
+MIN_DIMENSIONS = 2
+
+
+@dataclass
+class _Dimension:
+    item: FromItem
+    fact_fk_column: str
+    dim_pk_column: str
+    filters: list[ast.Expr]
+
+
+class StarTransformation(Transformation):
+    name = "star_transformation"
+    cost_based = True
+
+    def find_targets(self, root: QueryNode) -> list[TargetRef]:
+        targets = []
+        for block in root.iter_blocks():
+            if not isinstance(block, QueryBlock):
+                continue
+            for item in block.from_items:
+                if self._dimensions_for(block, item):
+                    targets.append(TargetRef(block.name, "fact", item.alias))
+        return targets
+
+    def apply(self, root: QueryNode, target: TargetRef) -> QueryNode:
+        block = self._require_block(root, target)
+        fact = block.from_item(str(target.key))
+        dimensions = self._dimensions_for(block, fact)
+        if not dimensions:
+            raise TransformError(f"{self.name}: block is not star-shaped")
+        for dimension in dimensions:
+            block.where_conjuncts.append(
+                self._key_filter_subquery(fact, dimension)
+            )
+        return root
+
+    # -- recognition ---------------------------------------------------------------
+
+    def _dimensions_for(self, block: QueryBlock, fact: FromItem) -> list[_Dimension]:
+        if not fact.is_base_table or not fact.is_inner:
+            return []
+        fact_table = self._catalog.table(fact.table_name)
+        if not fact_table.foreign_keys:
+            return []
+        # Already star-transformed? (an IN-subquery on a fact FK column)
+        for conjunct in block.where_conjuncts:
+            if isinstance(conjunct, ast.SubqueryExpr) and conjunct.kind == "IN" \
+                    and isinstance(conjunct.left, ast.ColumnRef) \
+                    and conjunct.left.qualifier == fact.alias:
+                return []
+
+        dimensions = []
+        for item in block.from_items:
+            if item is fact or not item.is_base_table or not item.is_inner:
+                continue
+            matched = self._join_edge(block, fact, item)
+            if matched is None:
+                continue
+            fk_column, pk_column = matched
+            filters = [
+                c for c in block.where_conjuncts
+                if exprutil.aliases_referenced(c) == {item.alias}
+                and not ast.contains_subquery(c)
+            ]
+            if not filters:
+                continue
+            dimensions.append(_Dimension(item, fk_column, pk_column, filters))
+        if len(dimensions) < MIN_DIMENSIONS:
+            return []
+        return dimensions
+
+    def _join_edge(self, block: QueryBlock, fact: FromItem, dim: FromItem):
+        """Match a declared-FK equijoin fact.fk = dim.pk in the WHERE."""
+        fact_table = self._catalog.table(fact.table_name)
+        dim_table = self._catalog.table(dim.table_name)
+        for conjunct in block.where_conjuncts:
+            pair = exprutil.equality_columns(conjunct)
+            if pair is None:
+                continue
+            left, right = pair
+            if left.qualifier == dim.alias and right.qualifier == fact.alias:
+                left, right = right, left
+            if not (left.qualifier == fact.alias and right.qualifier == dim.alias):
+                continue
+            if not dim_table.is_unique_key([right.name]):
+                continue
+            for fk in fact_table.foreign_keys:
+                if (
+                    fk.ref_table == dim_table.name
+                    and fk.columns == (left.name,)
+                    and fk.ref_columns == (right.name,)
+                ):
+                    return left.name, right.name
+        return None
+
+    # -- rewrite ---------------------------------------------------------------
+
+    @staticmethod
+    def _key_filter_subquery(fact: FromItem, dimension: _Dimension) -> ast.Expr:
+        alias = FromItem.fresh_alias("st")
+        rename = {dimension.item.alias: alias}
+        subquery = QueryBlock(
+            select_items=[
+                ast.SelectItem(
+                    ast.ColumnRef(alias, dimension.dim_pk_column),
+                    dimension.dim_pk_column,
+                )
+            ],
+            from_items=[
+                FromItem(alias, dimension.item.source, dimension.item.table)
+            ],
+            where_conjuncts=[
+                exprutil.rename_qualifiers(c, rename)
+                for c in dimension.filters
+            ],
+        )
+        return ast.SubqueryExpr(
+            "IN",
+            subquery,
+            left=ast.ColumnRef(fact.alias, dimension.fact_fk_column),
+        )

@@ -1,0 +1,350 @@
+"""Cost-based subquery unnesting that generates inline views (§2.2.1).
+
+Two shapes:
+
+* **Correlated aggregate subquery** (Q1 -> Q10): a conjunct
+  ``outer_expr <op> (SELECT agg(..) FROM .. WHERE local = outer [AND ..])``
+  becomes a group-by inline view ``(SELECT agg(..) AS agg_out, local ..
+  GROUP BY local ..) V`` joined on the correlation equalities, with the
+  comparison rewritten against ``V.agg_out``.
+
+  COUNT aggregates are *not* unnested this way: a group absent from the
+  view makes the join drop the outer row, while TIS would compare against
+  COUNT = 0 (the classic count bug).  For the other aggregates an absent
+  group yields NULL under TIS, so the comparison is unknown and the row
+  is filtered either way — equivalent.
+
+* **Multi-table EXISTS / IN** (and their negations): the subquery tables
+  become a semi-/anti-joined inline view.  A plain merge would generate
+  duplicate rows (§2.2.1), so the view boundary is kept and the join
+  carries the connecting condition on the view's outputs.
+
+Whether unnesting wins depends on filters in the outer query, indexes on
+the correlation's local columns (which make TIS cheap), and the cost of
+computing the aggregate once versus per row — precisely why the paper
+makes this transformation cost-based.  The pre-10g heuristic rule
+("do not unnest if the outer query has filter predicates and the local
+correlation columns are indexed") is implemented in
+:func:`pre10g_heuristic_says_unnest` and used when CBQT is disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import TransformError
+from ...qtree import exprutil
+from ...qtree.blocks import FromItem, QueryBlock, QueryNode
+from ...sql import ast
+from ..base import TargetRef, Transformation, ensure_unique_aliases
+from ..heuristic.subquery_merge import _join_type_for
+
+
+class UnnestSubqueryToView(Transformation):
+    name = "unnest_view"
+    cost_based = True
+
+    def find_targets(self, root: QueryNode) -> list[TargetRef]:
+        targets = []
+        for block in root.iter_blocks():
+            if not isinstance(block, QueryBlock):
+                continue
+            for i, conjunct in enumerate(block.where_conjuncts):
+                if self._classify(block, conjunct) is not None:
+                    targets.append(TargetRef(block.name, "conjunct", i))
+        return targets
+
+    def apply(self, root: QueryNode, target: TargetRef) -> QueryNode:
+        block = self._require_block(root, target)
+        index = int(target.key)  # type: ignore[arg-type]
+        if index >= len(block.where_conjuncts):
+            raise TransformError(f"{self.name}: conjunct index out of range")
+        conjunct = block.where_conjuncts[index]
+        shape = self._classify(block, conjunct)
+        if shape is None:
+            raise TransformError(f"{self.name}: conjunct is not unnestable")
+        del block.where_conjuncts[index]
+        if shape == "aggregate":
+            _unnest_aggregate(block, conjunct)
+        else:
+            _unnest_multi_table(block, conjunct, self._catalog)
+        return root
+
+    def target_kind(self, root: QueryNode, target: TargetRef) -> Optional[str]:
+        """Classify a previously found target: "aggregate" (generates a
+        mergeable group-by view) or "multi_table" (semi/anti-joined
+        view)."""
+        block = self._require_block(root, target)
+        index = int(target.key)  # type: ignore[arg-type]
+        if index >= len(block.where_conjuncts):
+            return None
+        return self._classify(block, block.where_conjuncts[index])
+
+    # -- classification -------------------------------------------------------
+
+    def _classify(self, block: QueryBlock, conjunct: ast.Expr) -> Optional[str]:
+        if _aggregate_target(block, conjunct) is not None:
+            return "aggregate"
+        if isinstance(conjunct, ast.SubqueryExpr) and _multi_table_applicable(
+            block, conjunct
+        ):
+            return "multi_table"
+        return None
+
+
+# -- aggregate subquery unnesting ---------------------------------------------
+
+
+def _aggregate_target(block: QueryBlock, conjunct: ast.Expr):
+    """Match ``outer_expr <op> (scalar agg subquery)`` in either
+    orientation; returns (outer_expr, op, SubqueryExpr) or None."""
+    if not isinstance(conjunct, ast.BinOp) or not conjunct.is_comparison:
+        return None
+    left, right, op = conjunct.left, conjunct.right, conjunct.op
+    if isinstance(left, ast.SubqueryExpr) and not isinstance(
+        right, ast.SubqueryExpr
+    ):
+        left, right = right, left
+        op = ast.MIRRORED_COMPARISON[op]
+    if not isinstance(right, ast.SubqueryExpr) or right.kind != "SCALAR":
+        return None
+    if ast.contains_subquery(left):
+        return None
+    inner = right.query
+    if not isinstance(inner, QueryBlock):
+        return None
+    if len(inner.select_items) != 1:
+        return None
+    sel = inner.select_items[0].expr
+    if not isinstance(sel, ast.FuncCall) or not sel.is_aggregate:
+        return None
+    if sel.name == "COUNT":
+        return None  # count bug
+    if sel.distinct:
+        return None
+    if inner.group_by or inner.having_conjuncts or inner.distinct:
+        return None
+    if inner.rownum_limit is not None or inner.order_by:
+        return None
+    if any(not item.is_inner for item in inner.from_items):
+        return None
+    # Correlations must be equality conjuncts local = outer targeting this
+    # block only.
+    outer_refs = {
+        ref.qualifier for ref in inner.correlation_refs() if ref.qualifier
+    }
+    if not outer_refs:
+        return None  # uncorrelated scalar subquery: TIS evaluates it once
+    if not outer_refs <= block.aliases():
+        return None
+    inner_aliases = inner.bound_aliases_recursive()
+    for c in inner.where_conjuncts:
+        refs = exprutil.aliases_referenced(c)
+        if refs <= inner_aliases:
+            if ast.contains_subquery(c):
+                return None
+            continue
+        if _correlation_equality(c, inner_aliases) is None:
+            return None
+    return left, op, right
+
+
+def _correlation_equality(conjunct: ast.Expr, inner_aliases: set[str]):
+    """Match ``inner.col = outer.expr``; returns (inner_ref, outer_expr)."""
+    if not isinstance(conjunct, ast.BinOp) or conjunct.op != "=":
+        return None
+    left, right = conjunct.left, conjunct.right
+    left_refs = exprutil.aliases_referenced(left)
+    right_refs = exprutil.aliases_referenced(right)
+    if isinstance(left, ast.ColumnRef) and left_refs <= inner_aliases \
+            and right_refs and not right_refs & inner_aliases:
+        return left, right
+    if isinstance(right, ast.ColumnRef) and right_refs <= inner_aliases \
+            and left_refs and not left_refs & inner_aliases:
+        return right, left
+    return None
+
+
+def _unnest_aggregate(block: QueryBlock, conjunct: ast.Expr) -> FromItem:
+    outer_expr, op, sub = _aggregate_target(block, conjunct)
+    inner = sub.query
+    assert isinstance(inner, QueryBlock)
+    ensure_unique_aliases(block, inner)
+    inner_aliases = inner.bound_aliases_recursive()
+
+    correlations = []
+    residual = []
+    for c in inner.where_conjuncts:
+        matched = _correlation_equality(c, inner_aliases)
+        if matched is not None:
+            correlations.append(matched)
+        else:
+            residual.append(c)
+
+    agg_expr = inner.select_items[0].expr
+    view = QueryBlock(
+        select_items=[ast.SelectItem(agg_expr.clone(), "agg_out")],
+        from_items=inner.from_items,
+        where_conjuncts=residual,
+    )
+    alias = FromItem.fresh_alias("vw")
+    join_conjuncts = []
+    for i, (inner_ref, outer_side) in enumerate(correlations):
+        column = f"gk_{i}"
+        view.select_items.append(ast.SelectItem(inner_ref.clone(), column))
+        view.group_by.append(inner_ref.clone())
+        join_conjuncts.append(
+            ast.BinOp("=", ast.ColumnRef(alias, column), outer_side.clone())
+        )
+
+    item = FromItem(alias, view)
+    block.from_items.append(item)
+    block.where_conjuncts.extend(join_conjuncts)
+    block.where_conjuncts.append(
+        ast.BinOp(op, outer_expr.clone(), ast.ColumnRef(alias, "agg_out"))
+    )
+    return item
+
+
+# -- multi-table EXISTS / IN unnesting -------------------------------------------
+
+
+def _multi_table_applicable(block: QueryBlock, sub: ast.SubqueryExpr) -> bool:
+    if sub.kind not in ("EXISTS", "IN", "QUANTIFIED"):
+        return False
+    inner = sub.query
+    if not isinstance(inner, QueryBlock):
+        return False
+    if not inner.is_spj:
+        return False
+    null_aware = (sub.kind == "IN" and sub.negated) or (
+        sub.kind == "QUANTIFIED" and sub.quantifier == "ALL"
+    )
+    if len(inner.from_items) < 2 and not null_aware:
+        # Single-table subqueries are flat-merged imperatively — except
+        # potentially-null-aware ones, which need the view boundary.
+        return False
+    if any(not item.is_inner for item in inner.from_items):
+        return False
+    outer_refs = {
+        ref.qualifier for ref in inner.correlation_refs() if ref.qualifier
+    }
+    if outer_refs and not outer_refs <= block.aliases():
+        return False
+    inner_aliases = inner.bound_aliases_recursive()
+    for c in inner.where_conjuncts:
+        if ast.contains_subquery(c):
+            return False
+        refs = exprutil.aliases_referenced(c)
+        if not refs <= inner_aliases and isinstance(c, ast.Or):
+            return False  # correlated disjunction
+    return True
+
+
+def _unnest_multi_table(block: QueryBlock, sub: ast.SubqueryExpr, catalog) -> FromItem:
+    inner = sub.query
+    assert isinstance(inner, QueryBlock)
+    ensure_unique_aliases(block, inner)
+    inner_aliases = inner.bound_aliases_recursive()
+    alias = FromItem.fresh_alias("vw")
+    join_type = _join_type_for(sub, block, inner, catalog)
+
+    # Correlated conjuncts move into the join condition, with the inner
+    # side exposed as view output columns — except under a null-aware
+    # antijoin, where every non-connecting predicate must stay inside the
+    # view (the antijoin treats UNKNOWN conjuncts as matches, which is
+    # only correct for the connecting condition itself).  The view then
+    # stays laterally correlated.
+    local_conjuncts = []
+    join_conjuncts = []
+    exposed = 0
+    view_selects = []
+    for c in inner.where_conjuncts:
+        refs = exprutil.aliases_referenced(c)
+        if refs <= inner_aliases or join_type == "ANTI_NA":
+            local_conjuncts.append(c)
+            continue
+        matched = _correlation_equality(c, inner_aliases)
+        if matched is None:
+            # General correlated conjunct: expose every inner column it
+            # uses and rewrite it against the view.
+            mapping = {}
+            for ref in ast.column_refs_in(c):
+                if ref.qualifier in inner_aliases and (
+                    ref.qualifier, ref.name,
+                ) not in mapping:
+                    column = f"cc_{exposed}"
+                    exposed += 1
+                    view_selects.append(ast.SelectItem(ref.clone(), column))
+                    mapping[(ref.qualifier, ref.name)] = ast.ColumnRef(
+                        alias, column
+                    )
+            join_conjuncts.append(exprutil.substitute_columns(c, mapping))
+        else:
+            inner_ref, outer_side = matched
+            column = f"cc_{exposed}"
+            exposed += 1
+            view_selects.append(ast.SelectItem(inner_ref.clone(), column))
+            join_conjuncts.append(
+                ast.BinOp("=", ast.ColumnRef(alias, column), outer_side.clone())
+            )
+
+    # Connecting condition for IN / quantified subqueries.
+    if sub.kind != "EXISTS":
+        left_exprs = (
+            list(sub.left.items)
+            if isinstance(sub.left, ast.RowExpr)
+            else [sub.left]
+        )
+        op = "="
+        if sub.kind == "QUANTIFIED":
+            op = sub.op
+            if sub.quantifier == "ALL":
+                op = ast.NEGATED_COMPARISON[op]
+        for i, (left, sel) in enumerate(zip(left_exprs, inner.select_items)):
+            column = f"sq_{i}"
+            view_selects.append(ast.SelectItem(sel.expr.clone(), column))
+            join_conjuncts.append(
+                ast.BinOp(op, left.clone(), ast.ColumnRef(alias, column))
+            )
+
+    if not view_selects:
+        view_selects = [ast.SelectItem(ast.Literal(1), "one")]
+
+    view = QueryBlock(
+        select_items=view_selects,
+        from_items=inner.from_items,
+        where_conjuncts=local_conjuncts,
+    )
+    item = FromItem(alias, view, join_type=join_type,
+                    join_conjuncts=join_conjuncts)
+    block.from_items.append(item)
+    return item
+
+
+# -- the pre-10g heuristic (§2.2.1) ------------------------------------------------
+
+
+def pre10g_heuristic_says_unnest(block: QueryBlock, sub_block: QueryBlock,
+                                 catalog) -> bool:
+    """The simplified pre-10g rule: "if there exist filter predicates in
+    the outer query and there are indexes on the local columns in the
+    subquery correlation, then the subquery should not be unnested"."""
+    has_outer_filters = any(
+        not ast.contains_subquery(c)
+        and len(exprutil.aliases_referenced(c) & block.aliases()) == 1
+        for c in block.where_conjuncts
+    )
+    inner_aliases = sub_block.bound_aliases_recursive()
+    local_indexed = False
+    for c in sub_block.where_conjuncts:
+        matched = _correlation_equality(c, inner_aliases)
+        if matched is None:
+            continue
+        inner_ref, _outer = matched
+        for item in sub_block.from_items:
+            if item.alias != inner_ref.qualifier or not item.is_base_table:
+                continue
+            if catalog.indexes_on(item.table_name, inner_ref.name):
+                local_indexed = True
+    return not (has_outer_filters and local_indexed)

@@ -1,0 +1,15 @@
+"""Heuristic (imperative) transformations — §2.1 of the paper."""
+
+from .group_pruning import GroupPruning
+from .join_elimination import JoinElimination
+from .predicate_move_around import PredicateMoveAround
+from .subquery_merge import SubqueryMergeUnnesting
+from .view_merge_spj import SpjViewMerging
+
+__all__ = [
+    "GroupPruning",
+    "JoinElimination",
+    "PredicateMoveAround",
+    "SubqueryMergeUnnesting",
+    "SpjViewMerging",
+]

@@ -1,0 +1,185 @@
+"""Group pruning (§2.1.4).
+
+An inline view computing ROLLUP / CUBE / GROUPING SETS produces one
+output stream per grouping set; rolled-up grouping columns come out NULL.
+A null-rejecting outer predicate on such a column (equality, range, IN,
+LIKE, IS NOT NULL, ...) can never be satisfied by the sets that roll the
+column up, so those sets are removed from the view — the paper's Q9,
+where a filter on ``city_id`` prunes the ``(country_id)`` and
+``(country_id, state_id)`` groups.
+
+Pruning keys on predicates over grouping columns and on GROUPING()
+indicator predicates (``GROUPING(c) = 0`` keeps only sets grouping c;
+``GROUPING(c) = 1`` keeps only sets rolling it up).
+
+This transformation is imperative: dropping an aggregation pass can only
+help.  It runs after predicate move-around has planted filter copies
+"into close proximity to the group-by query" (§2.1.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import TransformError
+from ...qtree import exprutil
+from ...qtree.blocks import FromItem, QueryBlock, QueryNode
+from ...sql import ast
+from ...sql.render import render_expr
+from ..base import TargetRef, Transformation
+
+
+class GroupPruning(Transformation):
+    name = "group_pruning"
+    cost_based = False
+
+    def find_targets(self, root: QueryNode) -> list[TargetRef]:
+        targets = []
+        for block in root.iter_blocks():
+            if not isinstance(block, QueryBlock):
+                continue
+            for item in block.from_items:
+                if self._prunable_sets(block, item):
+                    targets.append(TargetRef(block.name, "view", item.alias))
+        return targets
+
+    def apply(self, root: QueryNode, target: TargetRef) -> QueryNode:
+        block = self._require_block(root, target)
+        item = block.from_item(str(target.key))
+        pruned = self._prunable_sets(block, item)
+        if not pruned:
+            raise TransformError(f"{self.name}: nothing to prune")
+        view = item.subquery
+        assert isinstance(view, QueryBlock)
+        remaining = [
+            s for i, s in enumerate(view.grouping_sets) if i not in pruned
+        ]
+        if remaining:
+            view.grouping_sets = remaining
+            if len(remaining) == 1 and set(remaining[0]) == set(
+                range(len(view.group_by))
+            ):
+                view.grouping_sets = None  # plain GROUP BY again
+        else:
+            # every set contradicts the predicates: the view is empty;
+            # degrade to a plain (never-satisfied) GROUP BY so pruning
+            # terminates
+            view.grouping_sets = None
+            view.where_conjuncts.append(ast.Literal(False))
+        return root
+
+    # -- analysis ----------------------------------------------------------------
+
+    def _prunable_sets(self, block: QueryBlock, item: FromItem) -> set[int]:
+        """Indices of grouping sets the outer predicates rule out."""
+        if not item.is_derived or not item.is_inner:
+            return set()
+        view = item.subquery
+        if not isinstance(view, QueryBlock) or not view.grouping_sets:
+            return set()
+
+        # map view output column name -> index into view.group_by
+        group_index: dict[str, int] = {}
+        rendered_groups = [render_expr(g) for g in view.group_by]
+        for name, sel in zip(view.output_columns(), view.select_items):
+            rendered = render_expr(sel.expr)
+            for i, g in enumerate(rendered_groups):
+                if rendered == g:
+                    group_index[name] = i
+
+        must_group: set[int] = set()
+        must_rollup: set[int] = set()
+        for conjunct in block.where_conjuncts:
+            refs = exprutil.aliases_referenced(conjunct)
+            if refs != {item.alias}:
+                continue
+            grouping_pred = self._grouping_indicator(
+                conjunct, item.alias, group_index, view, rendered_groups
+            )
+            if grouping_pred is not None:
+                index, wants_grouped = grouping_pred
+                (must_group if wants_grouped else must_rollup).add(index)
+                continue
+            for column in self._null_rejected_columns(conjunct, item.alias):
+                index = group_index.get(column)
+                if index is not None:
+                    must_group.add(index)
+
+        if not must_group and not must_rollup:
+            return set()
+        pruned = set()
+        for i, set_indices in enumerate(view.grouping_sets):
+            kept = set(set_indices)
+            if not must_group <= kept or (must_rollup & kept):
+                pruned.add(i)
+        return pruned
+
+    @staticmethod
+    def _grouping_indicator(
+        conjunct: ast.Expr,
+        alias: str,
+        group_index: dict[str, int],
+        view: QueryBlock,
+        rendered_groups: list[str],
+    ) -> Optional[tuple[int, bool]]:
+        """Match ``GROUPING(v.col) = 0|1`` or ``v.gs = 0|1`` where the
+        view's ``gs`` output is a GROUPING(col) indicator."""
+        if not (isinstance(conjunct, ast.BinOp) and conjunct.op == "="):
+            return None
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, ast.Literal):
+            left, right = right, left
+        if not (isinstance(right, ast.Literal) and right.value in (0, 1)):
+            return None
+        # v.gs form: the output column selects GROUPING(col) in the view.
+        if isinstance(left, ast.ColumnRef) and left.qualifier == alias:
+            try:
+                left = view.select_expr_for(left.name)
+            except TransformError:
+                return None
+        if not (
+            isinstance(left, ast.FuncCall)
+            and left.name == "GROUPING"
+            and len(left.args) == 1
+            and isinstance(left.args[0], ast.ColumnRef)
+        ):
+            return None
+        rendered = render_expr(left.args[0])
+        for i, g in enumerate(rendered_groups):
+            if rendered == g:
+                return i, right.value == 0
+        return None
+
+    @staticmethod
+    def _null_rejected_columns(conjunct: ast.Expr, alias: str) -> set[str]:
+        """Columns of *alias* that cannot be NULL if *conjunct* is true.
+
+        Conservative: only predicate shapes whose NULL-input result is
+        known to be not-true qualify; disjunctions qualify only when every
+        disjunct rejects the column."""
+        if isinstance(conjunct, ast.Or):
+            per_disjunct = [
+                GroupPruning._null_rejected_columns(d, alias)
+                for d in conjunct.operands
+            ]
+            return set.intersection(*per_disjunct) if per_disjunct else set()
+        if isinstance(conjunct, ast.BinOp) and conjunct.is_comparison:
+            return {
+                c.name for c in ast.column_refs_in(conjunct)
+                if c.qualifier == alias
+            }
+        if isinstance(conjunct, (ast.Between, ast.Like)) and not conjunct.negated:
+            return {
+                c.name for c in ast.column_refs_in(conjunct)
+                if c.qualifier == alias
+            }
+        if isinstance(conjunct, ast.InList) and not conjunct.negated:
+            return {
+                c.name for c in ast.column_refs_in(conjunct.operand)
+                if c.qualifier == alias
+            }
+        if isinstance(conjunct, ast.IsNull) and conjunct.negated:
+            if isinstance(conjunct.operand, ast.ColumnRef) and \
+                    conjunct.operand.qualifier == alias:
+                return {conjunct.operand.name}
+        return set()

@@ -1,0 +1,184 @@
+"""Join elimination (§2.1.2).
+
+Removes a table whose join provably has no effect on the result:
+
+* **PK-FK join** (Q4): the child table's foreign key equi-joins the
+  parent's full primary/unique key, and no other part of the query
+  references the parent.  Every child row matches exactly one parent row
+  (FK integrity), so the join neither filters (beyond NULL FK values) nor
+  duplicates.  If the FK columns are nullable, ``IS NOT NULL`` predicates
+  are added to preserve the inner join's null-filtering.
+* **Unique-key outer join** (Q5): a LEFT-joined table whose ON condition
+  equi-joins one of its unique keys and whose columns are otherwise
+  unreferenced.  The outer join retains all left rows and cannot
+  duplicate, so the table is simply dropped.
+
+"It is obvious that pruning a redundant join will improve the
+performance of the query, and therefore join elimination is always
+performed, if it is valid." — §2.1.2.
+"""
+
+from __future__ import annotations
+
+from ...errors import TransformError
+from ...qtree import exprutil
+from ...qtree.blocks import FromItem, QueryBlock, QueryNode
+from ...sql import ast
+from ..base import TargetRef, Transformation
+
+
+class JoinElimination(Transformation):
+    name = "join_elimination"
+    cost_based = False
+
+    def find_targets(self, root: QueryNode) -> list[TargetRef]:
+        targets = []
+        for block in root.iter_blocks():
+            if not isinstance(block, QueryBlock):
+                continue
+            for item in block.from_items:
+                if self._eliminable(block, item) is not None:
+                    targets.append(TargetRef(block.name, "view", item.alias))
+        return targets
+
+    def apply(self, root: QueryNode, target: TargetRef) -> QueryNode:
+        block = self._require_block(root, target)
+        item = block.from_item(str(target.key))
+        plan = self._eliminable(block, item)
+        if plan is None:
+            raise TransformError(f"{self.name}: join is not eliminable")
+        kind, join_conjunct_ids, null_checks = plan
+        block.from_items.remove(item)
+        if kind == "pkfk":
+            block.where_conjuncts = [
+                c for c in block.where_conjuncts if id(c) not in join_conjunct_ids
+            ]
+            block.where_conjuncts.extend(null_checks)
+        return root
+
+    # -- analysis ---------------------------------------------------------------
+
+    def _eliminable(self, block: QueryBlock, item: FromItem):
+        if not item.is_base_table:
+            return None
+        if self._referenced_outside_join(block, item):
+            return None
+        if item.join_type == "LEFT":
+            return self._outer_join_eliminable(block, item)
+        if item.is_inner:
+            return self._pkfk_eliminable(block, item)
+        return None
+
+    def _referenced_outside_join(self, block: QueryBlock, item: FromItem) -> bool:
+        """Does anything other than the candidate join condition reference
+        the table?"""
+        alias = item.alias
+        exprs: list[ast.Expr] = [sel.expr for sel in block.select_items]
+        exprs.extend(block.group_by)
+        exprs.extend(block.having_conjuncts)
+        exprs.extend(o.expr for o in block.order_by)
+        for other in block.from_items:
+            if other is not item:
+                exprs.extend(other.join_conjuncts)
+        for expr in exprs:
+            if alias in exprutil.aliases_referenced(expr):
+                return True
+        if item.is_inner:
+            # WHERE conjuncts other than simple equi-joins also count.
+            for conjunct in block.where_conjuncts:
+                if alias not in exprutil.aliases_referenced(conjunct):
+                    continue
+                if self._equi_join_on(conjunct, alias) is None:
+                    return True
+        # Correlated references from nested blocks.
+        for nested in block.iter_blocks():
+            if nested is block or not isinstance(nested, QueryBlock):
+                continue
+            for ref in nested.correlation_refs():
+                if ref.qualifier == alias:
+                    return True
+        return False
+
+    @staticmethod
+    def _equi_join_on(conjunct: ast.Expr, alias: str):
+        """Match ``other.col = alias.col`` (either orientation); returns
+        (other_ref, alias_ref) or None."""
+        pair = exprutil.equality_columns(conjunct)
+        if pair is None:
+            return None
+        left, right = pair
+        if right.qualifier == alias and left.qualifier != alias:
+            return left, right
+        if left.qualifier == alias and right.qualifier != alias:
+            return right, left
+        return None
+
+    def _pkfk_eliminable(self, block: QueryBlock, item: FromItem):
+        alias = item.alias
+        parent = self._catalog.table(item.table_name)
+        join_pairs = []
+        conjunct_ids = set()
+        for conjunct in block.where_conjuncts:
+            if alias not in exprutil.aliases_referenced(conjunct):
+                continue
+            matched = self._equi_join_on(conjunct, alias)
+            if matched is None:
+                return None
+            join_pairs.append(matched)
+            conjunct_ids.add(id(conjunct))
+        if not join_pairs:
+            return None
+        parent_cols = tuple(sorted(ref.name for _other, ref in join_pairs))
+        keys = [tuple(sorted(k)) for k in parent.all_keys()]
+        if parent_cols not in keys:
+            return None
+        # All child sides must come from ONE table with a declared FK.
+        child_aliases = {other.qualifier for other, _ref in join_pairs}
+        if len(child_aliases) != 1:
+            return None
+        child_alias = next(iter(child_aliases))
+        try:
+            child_item = block.from_item(child_alias)
+        except TransformError:
+            return None
+        if not child_item.is_base_table:
+            return None
+        child_table = self._catalog.table(child_item.table_name)
+        fk = None
+        for candidate in child_table.foreign_keys:
+            if candidate.ref_table != parent.name:
+                continue
+            if tuple(sorted(candidate.ref_columns)) != parent_cols:
+                continue
+            child_cols = tuple(sorted(other.name for other, _r in join_pairs))
+            if tuple(sorted(candidate.columns)) == child_cols:
+                fk = candidate
+                break
+        if fk is None:
+            return None
+        null_checks = []
+        for other, _ref in join_pairs:
+            column = child_table.column(other.name)
+            if not column.not_null:
+                null_checks.append(ast.IsNull(other.clone(), negated=True))
+        return "pkfk", conjunct_ids, null_checks
+
+    def _outer_join_eliminable(self, block: QueryBlock, item: FromItem):
+        alias = item.alias
+        table = self._catalog.table(item.table_name)
+        # WHERE conjuncts must not reference the null-supplied table.
+        for conjunct in block.where_conjuncts:
+            if alias in exprutil.aliases_referenced(conjunct):
+                return None
+        joined_cols = []
+        for conjunct in item.join_conjuncts:
+            matched = self._equi_join_on(conjunct, alias)
+            if matched is None:
+                return None
+            _other, ref = matched
+            joined_cols.append(ref.name)
+        if not joined_cols:
+            return None
+        if not table.is_unique_key(joined_cols):
+            return None
+        return "outer", set(), []

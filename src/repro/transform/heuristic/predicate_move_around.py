@@ -1,0 +1,243 @@
+"""Filter predicate move-around (§2.1.3).
+
+Two imperative rules, both applied to fixpoint:
+
+* **Transitive predicate generation** ("moving across"): from
+  ``a.x = b.y`` and a single-column filter on ``a.x``, derive the same
+  filter on ``b.y``.  This plants copies of a predicate next to every
+  equivalent column so that the pushdown rule below can sink them into
+  views, and it opens index access on either side of a join.
+
+* **Pushdown into views**: a single-alias filter on an inline view's
+  output column moves inside the view (into every branch of a UNION ALL
+  view).  For views computing window functions the predicate may be
+  pushed only when the referenced columns appear in every window's
+  PARTITION BY list — the paper's Q7 -> Q8 example; pushing through the
+  window's ORDER BY is not attempted.  For group-by views the predicate
+  must be on group-by output columns.  Views guarded by ROWNUM are left
+  alone.
+
+Predicates containing subqueries or expensive functions are never moved
+by this rule (the cost-based predicate pull-up owns those).
+"""
+
+from __future__ import annotations
+
+from ...errors import TransformError
+from ...qtree import exprutil
+from ...qtree.blocks import QueryBlock, QueryNode, SetOpBlock
+from ...sql import ast
+from ...sql.render import render_expr
+from ..base import TargetRef, Transformation
+
+
+class PredicateMoveAround(Transformation):
+    name = "predicate_move_around"
+    cost_based = False
+
+    def find_targets(self, root: QueryNode) -> list[TargetRef]:
+        # One synthetic target per block that has work to do; apply()
+        # processes the whole block (transitivity + pushdown) at once.
+        targets = []
+        for block in root.iter_blocks():
+            if not isinstance(block, QueryBlock):
+                continue
+            if self._pushdown_candidates(block) or self._safe_transitive(block):
+                targets.append(TargetRef(block.name, "block", "*"))
+        return targets
+
+    def apply(self, root: QueryNode, target: TargetRef) -> QueryNode:
+        block = self._require_block(root, target)
+        self._apply_transitivity(block)
+        for conjunct, item in self._pushdown_candidates(block):
+            block.where_conjuncts.remove(conjunct)
+            self._push_into_view(conjunct, item)
+        return root
+
+    # -- transitivity ---------------------------------------------------------
+
+    def _new_transitive(self, block: QueryBlock) -> list[ast.Expr]:
+        """Filters derivable from equi-join equivalence classes that are
+        not yet present."""
+        equalities = []
+        filters = []
+        for conjunct in block.where_conjuncts:
+            pair = exprutil.equality_columns(conjunct)
+            if pair is not None:
+                equalities.append(pair)
+                continue
+            column = self._single_column_literal_filter(conjunct)
+            if column is not None:
+                filters.append((conjunct, column))
+
+        classes = _equivalence_classes(equalities)
+        existing = {render_expr(c) for c in block.where_conjuncts}
+        derived = []
+        for conjunct, column in filters:
+            for group in classes:
+                if column not in group:
+                    continue
+                for other in group:
+                    if other == column:
+                        continue
+                    candidate = exprutil.substitute_columns(
+                        conjunct, {(column.qualifier, column.name): other}
+                    )
+                    if render_expr(candidate) not in existing:
+                        existing.add(render_expr(candidate))
+                        derived.append(candidate)
+        return derived
+
+    def _safe_transitive(self, block: QueryBlock) -> list[ast.Expr]:
+        """Derived filters that are safe to add: copies on a
+        null-supplying alias would change outer-join semantics, so only
+        filters on inner aliases qualify."""
+        safe = []
+        for conjunct in self._new_transitive(block):
+            refs = exprutil.aliases_referenced(conjunct)
+            if all(
+                block.from_item(alias).is_inner
+                for alias in refs
+                if alias in block.aliases()
+            ):
+                safe.append(conjunct)
+        return safe
+
+    def _apply_transitivity(self, block: QueryBlock) -> None:
+        block.where_conjuncts.extend(self._safe_transitive(block))
+
+    @staticmethod
+    def _single_column_literal_filter(conjunct: ast.Expr):
+        """Match a filter whose only column reference is one qualified
+        column compared with literals (=, range, IN-list, BETWEEN)."""
+        if ast.contains_subquery(conjunct):
+            return None
+        if not isinstance(conjunct, (ast.BinOp, ast.Between, ast.InList)):
+            return None
+        columns = {
+            (c.qualifier, c.name) for c in ast.column_refs_in(conjunct)
+        }
+        if len(columns) != 1:
+            return None
+        qualifier, name = next(iter(columns))
+        if qualifier is None:
+            return None
+        # Everything else must be literal.
+        for node in conjunct.walk():
+            if isinstance(node, (ast.FuncCall, ast.Case, ast.WindowFunc)):
+                return None
+        return ast.ColumnRef(qualifier, name)
+
+    # -- pushdown into views ------------------------------------------------------
+
+    def _pushdown_candidates(self, block: QueryBlock):
+        candidates = []
+        for conjunct in block.where_conjuncts:
+            if ast.contains_subquery(conjunct):
+                continue
+            if any(
+                isinstance(n, ast.FuncCall)
+                and self._catalog.is_expensive_function(n.name)
+                for n in conjunct.walk()
+            ):
+                continue
+            refs = exprutil.aliases_referenced(conjunct) & block.aliases()
+            if len(refs) != 1:
+                continue
+            alias = next(iter(refs))
+            try:
+                item = block.from_item(alias)
+            except TransformError:
+                continue
+            if not item.is_derived or not item.is_inner:
+                continue
+            if self._pushable(conjunct, item):
+                candidates.append((conjunct, item))
+        return candidates
+
+    def _pushable(self, conjunct: ast.Expr, item) -> bool:
+        columns = [
+            c.name for c in ast.column_refs_in(conjunct)
+            if c.qualifier == item.alias
+        ]
+        return _node_accepts_pushdown(item.subquery, columns)
+
+    def _push_into_view(self, conjunct: ast.Expr, item) -> None:
+        _push_conjunct(conjunct, item.alias, item.subquery)
+
+
+def _node_accepts_pushdown(node: QueryNode, columns: list[str]) -> bool:
+    if isinstance(node, SetOpBlock):
+        if node.op != "UNION ALL":
+            # Pushing into UNION/INTERSECT/MINUS is legal for filters;
+            # we allow it (duplicate-removal commutes with filtering).
+            pass
+        return all(_node_accepts_pushdown(b, columns) for b in node.branches)
+    assert isinstance(node, QueryBlock)
+    if node.rownum_limit is not None:
+        return False
+    if node.grouping_sets is not None:
+        # filtering below a ROLLUP would change the rolled-up totals;
+        # group pruning (§2.1.4) handles these predicates instead
+        return False
+    output = node.output_columns()
+    for column in columns:
+        if column not in output:
+            return False
+        expr = node.select_expr_for(column)
+        if ast.contains_aggregate(expr):
+            return False
+        if isinstance(expr, ast.WindowFunc):
+            return False
+        if node.group_by and not any(
+            render_expr(expr) == render_expr(g) for g in node.group_by
+        ):
+            return False
+    # Window functions elsewhere in the view: every pushed column must be
+    # in every window's PARTITION BY (Q7/Q8).
+    windows = [
+        n
+        for sel in node.select_items
+        for n in sel.expr.walk()
+        if isinstance(n, ast.WindowFunc)
+    ]
+    for window in windows:
+        partition = {render_expr(e) for e in window.partition_by}
+        for column in columns:
+            expr = node.select_expr_for(column)
+            if render_expr(expr) not in partition:
+                return False
+    return True
+
+
+def _push_conjunct(conjunct: ast.Expr, alias: str, node: QueryNode) -> None:
+    if isinstance(node, SetOpBlock):
+        for branch in node.branches:
+            _push_conjunct(conjunct, alias, branch)
+        return
+    assert isinstance(node, QueryBlock)
+    mapping = {
+        (alias, name): node.select_expr_for(name)
+        for name in {
+            c.name
+            for c in ast.column_refs_in(conjunct)
+            if c.qualifier == alias
+        }
+    }
+    node.where_conjuncts.append(
+        exprutil.substitute_columns(conjunct, mapping)
+    )
+
+
+def _equivalence_classes(
+    pairs: list[tuple[ast.ColumnRef, ast.ColumnRef]]
+) -> list[set[ast.ColumnRef]]:
+    classes: list[set[ast.ColumnRef]] = []
+    for left, right in pairs:
+        touching = [g for g in classes if left in g or right in g]
+        merged = {left, right}
+        for group in touching:
+            merged |= group
+            classes.remove(group)
+        classes.append(merged)
+    return classes

@@ -1,0 +1,210 @@
+"""Imperative subquery unnesting: merge into semijoin / antijoin (§2.1.1).
+
+The category of unnesting "that merges a subquery into its outer query"
+is applied imperatively in Oracle; the category that must generate inline
+views is cost-based (§2.2.1) and lives in
+:mod:`repro.transform.costbased.unnest_view`.
+
+This rule handles single-table SPJ subqueries appearing as a top-level
+WHERE conjunct:
+
+* ``EXISTS`` -> semijoin, ``NOT EXISTS`` -> antijoin;
+* ``IN`` -> semijoin on connecting equalities;
+* ``NOT IN`` -> antijoin when both sides are provably non-null, else the
+  null-aware antijoin variant (§2.1.1's "next release" feature);
+* ``<op> ANY`` -> semijoin on ``left <op> subcol``;
+* ``<op> ALL`` -> null-aware antijoin on the negated comparison.
+
+Subqueries "correlated to non-parents, whose correlations appear in
+disjunction" are skipped, matching the paper's restrictions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import TransformError
+from ...qtree import exprutil
+from ...qtree.blocks import FromItem, QueryBlock, QueryNode
+from ...sql import ast
+from ..base import TargetRef, Transformation, ensure_unique_aliases
+
+
+class SubqueryMergeUnnesting(Transformation):
+    name = "subquery_merge"
+    cost_based = False
+
+    def find_targets(self, root: QueryNode) -> list[TargetRef]:
+        targets = []
+        for block in root.iter_blocks():
+            if not isinstance(block, QueryBlock):
+                continue
+            for i, conjunct in enumerate(block.where_conjuncts):
+                if self._unnestable(block, conjunct):
+                    targets.append(TargetRef(block.name, "conjunct", i))
+        return targets
+
+    def _unnestable(self, block: QueryBlock, conjunct: ast.Expr) -> bool:
+        if not isinstance(conjunct, ast.SubqueryExpr):
+            return False
+        return subquery_merge_applicable(block, conjunct, self._catalog)
+
+    def apply(self, root: QueryNode, target: TargetRef) -> QueryNode:
+        block = self._require_block(root, target)
+        index = int(target.key)  # type: ignore[arg-type]
+        if index >= len(block.where_conjuncts):
+            raise TransformError(f"{self.name}: conjunct index out of range")
+        conjunct = block.where_conjuncts[index]
+        if not isinstance(conjunct, ast.SubqueryExpr) or not \
+                subquery_merge_applicable(block, conjunct, self._catalog):
+            raise TransformError(f"{self.name}: target is not unnestable")
+        del block.where_conjuncts[index]
+        merge_subquery_as_join(block, conjunct, self._catalog)
+        return root
+
+
+def subquery_merge_applicable(
+    block: QueryBlock, sub: ast.SubqueryExpr, catalog
+) -> bool:
+    """True when *sub* (a top-level conjunct of *block*) can be merged
+    into a single-table semi/antijoin."""
+    if not isinstance(sub.query, QueryBlock):
+        return False
+    inner = sub.query
+    if sub.kind not in ("EXISTS", "IN", "QUANTIFIED"):
+        return False
+    if not inner.is_spj or len(inner.from_items) != 1:
+        return False
+    item = inner.from_items[0]
+    if not item.is_base_table or not item.is_inner:
+        return False
+    # Correlation must target this block only (no non-parent correlation).
+    outer_refs = {
+        ref.qualifier for ref in inner.correlation_refs() if ref.qualifier
+    }
+    if outer_refs and not outer_refs <= block.aliases():
+        return False
+    # Correlated disjunctions cannot be unnested.
+    for conjunct in inner.where_conjuncts:
+        if isinstance(conjunct, ast.Or):
+            refs = exprutil.aliases_referenced(conjunct)
+            if refs - inner.aliases():
+                return False
+        if ast.contains_subquery(conjunct):
+            return False
+    # A null-aware antijoin is null-aware on *every* join conjunct, so a
+    # NOT IN / ALL subquery with nullable sides can never be flat-merged:
+    # a NULL in a correlation or local predicate would wrongly reject the
+    # outer row.  Those cases go through the cost-based view-generating
+    # unnesting instead, which keeps all non-connecting predicates inside
+    # the view.
+    if _join_type_for(sub, block, inner, catalog) == "ANTI_NA":
+        return False
+    return True
+
+
+def merge_subquery_as_join(
+    block: QueryBlock, sub: ast.SubqueryExpr, catalog
+) -> FromItem:
+    """Turn *sub* into a semi/anti-joined from-item of *block*.
+
+    The caller has already removed the conjunct from the block's WHERE.
+    """
+    inner = sub.query
+    assert isinstance(inner, QueryBlock)
+    ensure_unique_aliases(block, inner)
+    item = inner.from_items[0]
+
+    connecting = _connecting_conjuncts(sub, inner)
+    join_type = _join_type_for(sub, block, inner, catalog)
+
+    new_item = FromItem(
+        item.alias,
+        item.source,
+        item.table,
+        join_type,
+        connecting + [c.clone() for c in inner.where_conjuncts],
+    )
+    block.from_items.append(new_item)
+    return new_item
+
+
+def _connecting_conjuncts(
+    sub: ast.SubqueryExpr, inner: QueryBlock
+) -> list[ast.Expr]:
+    if sub.kind == "EXISTS":
+        return []
+    left_exprs = (
+        list(sub.left.items)
+        if isinstance(sub.left, ast.RowExpr)
+        else [sub.left]
+    )
+    sub_exprs = [item.expr for item in inner.select_items]
+    if len(left_exprs) != len(sub_exprs):
+        raise TransformError("subquery connecting-condition arity mismatch")
+    if sub.kind == "IN":
+        op = "="
+    else:  # QUANTIFIED
+        op = sub.op
+        if sub.quantifier == "ALL":
+            op = ast.NEGATED_COMPARISON[op]
+    return [
+        ast.BinOp(op, left.clone(), right.clone())
+        for left, right in zip(left_exprs, sub_exprs)
+    ]
+
+
+def _join_type_for(
+    sub: ast.SubqueryExpr, block: QueryBlock, inner: QueryBlock, catalog
+) -> str:
+    if sub.kind == "EXISTS":
+        return "ANTI" if sub.negated else "SEMI"
+    if sub.kind == "QUANTIFIED":
+        if sub.quantifier == "ANY":
+            return "SEMI"
+        return "ANTI_NA"
+    # IN / NOT IN
+    if not sub.negated:
+        return "SEMI"
+    left_exprs = (
+        list(sub.left.items)
+        if isinstance(sub.left, ast.RowExpr)
+        else [sub.left]
+    )
+    sides_non_null = all(
+        _non_nullable(expr, block, catalog) for expr in left_exprs
+    ) and all(
+        _non_nullable(item.expr, inner, catalog) for item in inner.select_items
+    )
+    return "ANTI" if sides_non_null else "ANTI_NA"
+
+
+def _non_nullable(expr: ast.Expr, block: QueryBlock, catalog) -> bool:
+    """Conservatively prove *expr* cannot be NULL in *block*'s rows."""
+    if isinstance(expr, ast.Literal):
+        return expr.value is not None
+    if isinstance(expr, ast.ColumnRef) and expr.qualifier:
+        item = _find_item(block, expr.qualifier)
+        if item is None or not item.is_base_table or not item.is_inner:
+            return False
+        if expr.name == "rowid":
+            return True
+        table = catalog.table(item.table_name)
+        if not table.has_column(expr.name):
+            return False
+        if table.column(expr.name).not_null:
+            return True
+        # An IS NOT NULL / equality-with-non-null filter also proves it.
+        for conjunct in block.where_conjuncts:
+            if isinstance(conjunct, ast.IsNull) and conjunct.negated and \
+                    conjunct.operand == expr:
+                return True
+        return False
+    return False
+
+
+def _find_item(block: QueryBlock, alias: str) -> Optional[FromItem]:
+    for item in block.from_items:
+        if item.alias == alias:
+            return item
+    return None

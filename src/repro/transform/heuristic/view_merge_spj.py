@@ -1,0 +1,92 @@
+"""SPJ view merging (§2.1 / §3.1 "SPJ view merging").
+
+An inline view that is a plain select-project-join block is merged into
+its containing block unconditionally: this removes a query-block boundary
+and lets the physical optimizer reorder the view's tables with the outer
+tables.  The paper classifies this as a heuristic (imperative)
+transformation because it never repositions a DISTINCT or GROUP BY
+operator (§2.1).
+
+Legality here:
+
+* the from-item is INNER-joined (outer-joined views are unmergeable for
+  this rule — footnote 3 notwithstanding, we leave those to JPPD);
+* the view is a :class:`QueryBlock` with :attr:`is_spj` true;
+* the view is not laterally correlated (nothing references outer aliases;
+  lateral views only arise from JPPD, which runs later anyway).
+
+The view's ORDER BY, if any, is discarded — ordering of an inline view
+without ROWNUM carries no semantics.
+"""
+
+from __future__ import annotations
+
+from ...qtree import exprutil
+from ...qtree.blocks import QueryBlock, QueryNode
+from ...sql import ast
+from ..base import TargetRef, Transformation, ensure_unique_aliases
+
+
+class SpjViewMerging(Transformation):
+    name = "spj_view_merge"
+    cost_based = False
+
+    def find_targets(self, root: QueryNode) -> list[TargetRef]:
+        targets = []
+        for block in root.iter_blocks():
+            if not isinstance(block, QueryBlock):
+                continue
+            for item in block.from_items:
+                if self._mergeable(block, item):
+                    targets.append(TargetRef(block.name, "view", item.alias))
+        return targets
+
+    def _mergeable(self, block: QueryBlock, item) -> bool:
+        if not item.is_derived or not item.is_inner:
+            return False
+        view = item.subquery
+        if not isinstance(view, QueryBlock):
+            return False
+        if not view.is_spj:
+            return False
+        if view.is_correlated:
+            return False
+        # Under an outer ROWNUM the view's ORDER BY selects *which* rows
+        # survive (the top-N pattern, Q16); merging would discard it.
+        if view.order_by and block.rownum_limit is not None:
+            return False
+        # A subquery in the view's WHERE is fine — it moves along.
+        return True
+
+    def apply(self, root: QueryNode, target: TargetRef) -> QueryNode:
+        block = self._require_block(root, target)
+        item = block.from_item(str(target.key))
+        if not self._mergeable(block, item):
+            from ...errors import TransformError
+
+            raise TransformError(f"{self.name}: view is not mergeable")
+        view = item.subquery
+        assert isinstance(view, QueryBlock)
+
+        merge_view_into(block, item, view)
+        return root
+
+
+def merge_view_into(block: QueryBlock, item, view: QueryBlock) -> dict[str, str]:
+    """Splice *view*'s from-items and conjuncts into *block*, replacing
+    references to ``item.alias`` columns by the view's select expressions.
+    Shared by SPJ merging and group-by view merging.  Returns the alias
+    rename map applied to the view."""
+    position = block.from_items.index(item)
+    block.from_items.remove(item)
+    renames = ensure_unique_aliases(block, view)
+
+    mapping: dict[tuple[str, str], ast.Expr] = {}
+    for name, sel in zip(view.output_columns(), view.select_items):
+        mapping[(item.alias, name)] = sel.expr
+
+    exprutil.substitute_columns_in_node(block, mapping)
+
+    block.from_items[position:position] = view.from_items
+    block.where_conjuncts.extend(view.where_conjuncts)
+    return renames

@@ -1,0 +1,97 @@
+"""Sequential transformation ordering (§3.1).
+
+"In Oracle, transformations are generally applied in a sequential manner;
+each transformation is applied on the entire query tree followed by
+another transformation."  This module fixes that order for both the
+heuristic phase and the cost-based phase, mirroring the paper's list:
+SPJ view merging, join elimination, subquery unnesting, group-by
+(distinct) view merging, predicate move around, set operator into join,
+group-by placement, predicate pullup, join factorization, disjunction
+into union-all, and join predicate pushdown.
+
+Re-application: a transformation can synthesise constructs that make
+earlier ones applicable again (e.g. set-op conversion creates an SPJ
+view).  The heuristic phase therefore runs to a fixpoint, and the CBQT
+driver re-runs SPJ merging after any cost-based transformation that
+created new SPJ views.
+"""
+
+from __future__ import annotations
+
+from ..catalog.schema import Catalog
+from ..qtree.blocks import QueryNode
+from .base import Transformation, apply_everywhere
+from .costbased import (
+    GroupByPlacement,
+    GroupByViewMerging,
+    JoinFactorization,
+    JoinPredicatePushdown,
+    OrExpansion,
+    PredicatePullup,
+    SetOpIntoJoin,
+    StarTransformation,
+    UnnestSubqueryToView,
+)
+from .heuristic import (
+    GroupPruning,
+    JoinElimination,
+    PredicateMoveAround,
+    SpjViewMerging,
+    SubqueryMergeUnnesting,
+)
+
+#: heuristic phase, in sequential order
+HEURISTIC_ORDER = (
+    SpjViewMerging,
+    JoinElimination,
+    SubqueryMergeUnnesting,
+    PredicateMoveAround,
+    GroupPruning,
+)
+
+#: cost-based phase, in sequential order
+COST_BASED_ORDER = (
+    UnnestSubqueryToView,
+    GroupByViewMerging,
+    SetOpIntoJoin,
+    GroupByPlacement,
+    PredicatePullup,
+    JoinFactorization,
+    OrExpansion,
+    StarTransformation,
+    JoinPredicatePushdown,
+)
+
+
+def build_heuristic_transformations(catalog: Catalog) -> list[Transformation]:
+    return [cls(catalog) for cls in HEURISTIC_ORDER]
+
+
+def build_cost_based_transformations(catalog: Catalog) -> list[Transformation]:
+    return [cls(catalog) for cls in COST_BASED_ORDER]
+
+
+def apply_heuristic_phase(
+    root: QueryNode,
+    catalog: Catalog,
+    enabled: set[str] | None = None,
+    rounds: int = 4,
+) -> QueryNode:
+    """Run the heuristic transformations to a fixpoint.
+
+    *enabled* restricts to the named transformations (None = all).
+    """
+    transformations = [
+        t for t in build_heuristic_transformations(catalog)
+        if enabled is None or t.name in enabled
+    ]
+    for _ in range(rounds):
+        changed = False
+        for transformation in transformations:
+            targets = transformation.find_targets(root)
+            if targets:
+                root = apply_everywhere(transformation, root)
+                changed = True
+        if not changed:
+            break
+    return root

@@ -1,0 +1,56 @@
+"""Workload substrate: schemas, query generation, runner, aggregation."""
+
+from .querygen import EXPENSIVE_FUNCTION, GeneratedQuery, MixWeights, QueryGenerator
+from .runner import (
+    ConfigMeasurement,
+    QueryOutcome,
+    WorkloadResult,
+    register_workload_functions,
+    run_workload,
+    verify_result_equivalence,
+)
+from .schemas import (
+    AppsSchema,
+    AppsSchemaBuilder,
+    TableInfo,
+    apps_database,
+    hr_database,
+    hr_schema,
+    load_hr_data,
+)
+from .topn import (
+    DEFAULT_FRACTIONS,
+    CurvePoint,
+    DegradationStats,
+    degradation_stats,
+    optimization_time_increase_percent,
+    summarize,
+    top_n_curve,
+)
+
+__all__ = [
+    "EXPENSIVE_FUNCTION",
+    "GeneratedQuery",
+    "MixWeights",
+    "QueryGenerator",
+    "ConfigMeasurement",
+    "QueryOutcome",
+    "WorkloadResult",
+    "register_workload_functions",
+    "run_workload",
+    "verify_result_equivalence",
+    "AppsSchema",
+    "AppsSchemaBuilder",
+    "TableInfo",
+    "apps_database",
+    "hr_database",
+    "hr_schema",
+    "load_hr_data",
+    "DEFAULT_FRACTIONS",
+    "CurvePoint",
+    "DegradationStats",
+    "degradation_stats",
+    "optimization_time_increase_percent",
+    "summarize",
+    "top_n_curve",
+]

@@ -1,0 +1,403 @@
+"""Workload schemas.
+
+Two schemas back the experiments:
+
+* :func:`hr_schema` — the human-resources demo schema every worked
+  example in the paper runs against (employees, departments, locations,
+  job_history, jobs, accounts), with the paper's foreign keys and the
+  indexes its TIS-vs-unnest discussion assumes.
+
+* :class:`AppsSchemaBuilder` — the substitute for the proprietary
+  Oracle Applications schema (~14,000 tables in the paper).  It
+  generates a module-structured schema (HR / FIN / OE / CRM / SCM by
+  default): per module a few small *master* tables, mid-size *detail*
+  tables with foreign keys into the masters, and large *history/line*
+  tables with skewed foreign keys into the details.  Table sizes, index
+  placement and NULL rates are controlled and deterministic per seed.
+  The experiments touch only a handful of tables per query (the paper's
+  average is 8), so fidelity lies in the size/index/join-path
+  distribution, not the raw table count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..catalog import datagen
+from ..database import Database
+
+# ---------------------------------------------------------------------------
+# HR demo schema (paper worked examples)
+# ---------------------------------------------------------------------------
+
+HR_DDL = [
+    """CREATE TABLE regions (
+        region_id INT PRIMARY KEY,
+        region_name VARCHAR(30) NOT NULL)""",
+    """CREATE TABLE countries (
+        country_id INT PRIMARY KEY,
+        country_name VARCHAR(40) NOT NULL,
+        region_id INT REFERENCES regions(region_id))""",
+    """CREATE TABLE locations (
+        loc_id INT PRIMARY KEY,
+        city VARCHAR(30),
+        country_id INT REFERENCES countries(country_id))""",
+    """CREATE TABLE departments (
+        dept_id INT PRIMARY KEY,
+        department_name VARCHAR(30) NOT NULL,
+        loc_id INT REFERENCES locations(loc_id))""",
+    """CREATE TABLE jobs (
+        job_id INT PRIMARY KEY,
+        job_title VARCHAR(35) NOT NULL,
+        min_salary INT,
+        max_salary INT)""",
+    """CREATE TABLE employees (
+        emp_id INT PRIMARY KEY,
+        employee_name VARCHAR(25) NOT NULL,
+        first_name VARCHAR(20),
+        last_name VARCHAR(25),
+        salary NUMBER,
+        dept_id INT REFERENCES departments(dept_id),
+        job_id INT REFERENCES jobs(job_id),
+        mgr_id INT,
+        hire_date DATE)""",
+    """CREATE TABLE job_history (
+        emp_id INT NOT NULL REFERENCES employees(emp_id),
+        job_id INT REFERENCES jobs(job_id),
+        job_title VARCHAR(35),
+        dept_id INT,
+        start_date DATE,
+        end_date DATE)""",
+    """CREATE TABLE accounts (
+        acct_id INT NOT NULL,
+        time INT NOT NULL,
+        balance NUMBER)""",
+    "CREATE INDEX emp_dept_ix ON employees (dept_id)",
+    "CREATE INDEX emp_job_ix ON employees (job_id)",
+    "CREATE INDEX jh_emp_ix ON job_history (emp_id)",
+    "CREATE INDEX jh_dept_ix ON job_history (dept_id)",
+    "CREATE INDEX dept_loc_ix ON departments (loc_id)",
+    "CREATE INDEX loc_country_ix ON locations (country_id)",
+    "CREATE INDEX acct_ix ON accounts (acct_id, time)",
+]
+
+
+def hr_schema(db: Database) -> None:
+    """Create the HR demo schema in *db*."""
+    for ddl in HR_DDL:
+        db.execute_ddl(ddl)
+
+
+def load_hr_data(db: Database, scale: int = 1, seed: int = 42) -> None:
+    """Populate the HR schema deterministically.
+
+    *scale* multiplies the employee/job_history row counts (scale 1:
+    1,000 employees, 3,000 job_history rows).
+    """
+    rng = random.Random(seed)
+    n_regions = 4
+    n_countries = 20
+    n_locations = 30
+    n_departments = 40
+    n_jobs = 15
+    n_employees = 1000 * scale
+    n_history = 3000 * scale
+
+    db.insert("regions", [
+        {"region_id": i, "region_name": f"region_{i}"}
+        for i in range(1, n_regions + 1)
+    ])
+    db.insert("countries", [
+        {
+            "country_id": i,
+            "country_name": f"country_{i}",
+            "region_id": rng.randint(1, n_regions),
+        }
+        for i in range(1, n_countries + 1)
+    ])
+    db.insert("locations", [
+        {
+            "loc_id": i,
+            "city": f"city_{i}",
+            # biased toward low country ids so the paper queries'
+            # `country_id = 1` / `IN (1, 2)` filters select real data
+            "country_id": min(rng.randint(1, n_countries),
+                              rng.randint(1, 6)),
+        }
+        for i in range(1, n_locations + 1)
+    ])
+    db.insert("departments", [
+        {
+            "dept_id": i,
+            "department_name": f"dept_{i}",
+            "loc_id": rng.randint(1, n_locations),
+        }
+        for i in range(1, n_departments + 1)
+    ])
+    db.insert("jobs", [
+        {
+            "job_id": i,
+            "job_title": f"job_{i}",
+            "min_salary": 1000 * i,
+            "max_salary": 2000 * i,
+        }
+        for i in range(1, n_jobs + 1)
+    ])
+    date_gen = datagen.iso_date(1990, 2006)
+    db.insert("employees", [
+        {
+            "emp_id": i,
+            "employee_name": f"emp_{i}",
+            "first_name": f"fn_{i}",
+            "last_name": f"ln_{i}",
+            "salary": round(rng.uniform(1000.0, 30000.0), 2),
+            "dept_id": (
+                None if rng.random() < 0.02 else rng.randint(1, n_departments)
+            ),
+            "job_id": rng.randint(1, n_jobs),
+            "mgr_id": None if rng.random() < 0.1 else rng.randint(1, max(i, 2) - 1 or 1),
+            "hire_date": date_gen(rng, i),
+        }
+        for i in range(1, n_employees + 1)
+    ])
+    db.insert("job_history", [
+        {
+            "emp_id": rng.randint(1, n_employees),
+            "job_id": rng.randint(1, n_jobs),
+            "job_title": f"job_{rng.randint(1, n_jobs)}",
+            "dept_id": rng.randint(1, n_departments),
+            "start_date": date_gen(rng, i),
+            "end_date": date_gen(rng, i),
+        }
+        for i in range(n_history)
+    ])
+    db.insert("accounts", [
+        {
+            "acct_id": acct,
+            "time": t,
+            "balance": round(rng.uniform(-5000.0, 50000.0), 2),
+        }
+        for acct in range(1, 40 * scale + 1)
+        for t in range(1, 25)
+    ])
+    db.analyze()
+
+
+def hr_database(scale: int = 1, seed: int = 42) -> Database:
+    """Convenience: a Database with the HR schema loaded and analyzed."""
+    db = Database()
+    hr_schema(db)
+    load_hr_data(db, scale, seed)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Synthetic "applications" schema (substitute for Oracle Applications)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TableInfo:
+    """What the query generator needs to know about one generated table."""
+
+    name: str
+    kind: str                      # "master" | "detail" | "history"
+    row_count: int
+    pk: str
+    numeric_columns: list[str]
+    fk_edges: list[tuple[str, str, str]] = field(default_factory=list)
+    # (local_column, parent_table, parent_pk)
+    indexed_columns: set[str] = field(default_factory=set)
+    value_range: tuple[int, int] = (1, 1000)
+
+
+@dataclass
+class AppsSchema:
+    """Handle onto a generated applications schema."""
+
+    modules: list[str]
+    tables: dict[str, TableInfo]
+
+    def tables_of_kind(self, kind: str) -> list[TableInfo]:
+        return [t for t in self.tables.values() if t.kind == kind]
+
+    def joinable_pairs(self) -> list[tuple[TableInfo, TableInfo, str, str]]:
+        """(child, parent, child_fk, parent_pk) for every FK edge."""
+        pairs = []
+        for info in self.tables.values():
+            for column, parent, parent_pk in info.fk_edges:
+                pairs.append((info, self.tables[parent], column, parent_pk))
+        return pairs
+
+
+class AppsSchemaBuilder:
+    """Builds the synthetic applications schema inside a Database."""
+
+    DEFAULT_MODULES = ("hr", "fin", "oe", "crm", "scm")
+
+    def __init__(
+        self,
+        modules: tuple[str, ...] = DEFAULT_MODULES,
+        masters_per_module: int = 2,
+        details_per_module: int = 3,
+        histories_per_module: int = 2,
+        master_rows: int = 50,
+        detail_rows: int = 2000,
+        history_rows: int = 6000,
+        index_fraction: float = 0.6,
+        null_fraction: float = 0.05,
+        seed: int = 7,
+    ):
+        self.modules = list(modules)
+        self.masters_per_module = masters_per_module
+        self.details_per_module = details_per_module
+        self.histories_per_module = histories_per_module
+        self.master_rows = master_rows
+        self.detail_rows = detail_rows
+        self.history_rows = history_rows
+        self.index_fraction = index_fraction
+        self.null_fraction = null_fraction
+        self.seed = seed
+
+    def build(self, db: Database) -> AppsSchema:
+        rng = random.Random(self.seed)
+        tables: dict[str, TableInfo] = {}
+        for module in self.modules:
+            masters = []
+            for m in range(self.masters_per_module):
+                info = self._create_master(db, rng, module, m)
+                tables[info.name] = info
+                masters.append(info)
+            details = []
+            for d in range(self.details_per_module):
+                info = self._create_detail(db, rng, module, d, masters)
+                tables[info.name] = info
+                details.append(info)
+            for h in range(self.histories_per_module):
+                info = self._create_history(db, rng, module, h, details)
+                tables[info.name] = info
+        schema = AppsSchema(self.modules, tables)
+        self._populate(db, rng, schema)
+        db.analyze()
+        return schema
+
+    # -- table shapes -----------------------------------------------------------
+
+    def _create_master(self, db, rng, module: str, i: int) -> TableInfo:
+        name = f"{module}_master{i}"
+        rows = max(10, int(self.master_rows * rng.uniform(0.5, 2.0)))
+        db.execute_ddl(
+            f"""CREATE TABLE {name} (
+                id INT PRIMARY KEY,
+                category INT,
+                region INT,
+                status INT,
+                amount INT)"""
+        )
+        return TableInfo(
+            name, "master", rows, "id",
+            ["category", "region", "status", "amount"],
+            value_range=(1, max(rows // 4, 4)),
+        )
+
+    def _create_detail(self, db, rng, module: str, i: int, masters) -> TableInfo:
+        name = f"{module}_detail{i}"
+        rows = max(100, int(self.detail_rows * rng.uniform(0.4, 2.0)))
+        parents = rng.sample(masters, k=min(2, len(masters)))
+        fk_cols = []
+        ddl_cols = [
+            "id INT PRIMARY KEY",
+            "quantity INT",
+            "amount INT",
+            "status INT",
+            "created INT",
+        ]
+        edges = []
+        for j, parent in enumerate(parents):
+            column = f"m{j}_id"
+            ddl_cols.append(f"{column} INT REFERENCES {parent.name}(id)")
+            fk_cols.append(column)
+            edges.append((column, parent.name, "id"))
+        db.execute_ddl(f"CREATE TABLE {name} ({', '.join(ddl_cols)})")
+        indexed = set()
+        for column in fk_cols:
+            if rng.random() < self.index_fraction:
+                db.execute_ddl(
+                    f"CREATE INDEX {name}_{column}_ix ON {name} ({column})"
+                )
+                indexed.add(column)
+        return TableInfo(
+            name, "detail", rows, "id",
+            ["quantity", "amount", "status", "created"],
+            edges, indexed, value_range=(1, 500),
+        )
+
+    def _create_history(self, db, rng, module: str, i: int, details) -> TableInfo:
+        name = f"{module}_hist{i}"
+        rows = max(500, int(self.history_rows * rng.uniform(0.5, 1.6)))
+        parent = rng.choice(details)
+        db.execute_ddl(
+            f"""CREATE TABLE {name} (
+                id INT PRIMARY KEY,
+                detail_id INT REFERENCES {parent.name}(id),
+                event INT,
+                amount INT,
+                logged INT)"""
+        )
+        indexed = set()
+        if rng.random() < self.index_fraction:
+            db.execute_ddl(f"CREATE INDEX {name}_det_ix ON {name} (detail_id)")
+            indexed.add("detail_id")
+        return TableInfo(
+            name, "history", rows, "id",
+            ["event", "amount", "logged"],
+            [("detail_id", parent.name, "id")], indexed,
+            value_range=(1, 200),
+        )
+
+    # -- population -------------------------------------------------------------
+
+    def _populate(self, db: Database, rng: random.Random, schema: AppsSchema) -> None:
+        # Masters first, then details, then histories (FK order).
+        for kind in ("master", "detail", "history"):
+            for info in schema.tables_of_kind(kind):
+                db.insert(info.name, self._rows_for(rng, schema, info))
+
+    def _rows_for(self, rng, schema: AppsSchema, info: TableInfo) -> list[dict]:
+        lo, hi = info.value_range
+        rows = []
+        parent_counts = {
+            parent: schema.tables[parent].row_count
+            for _c, parent, _p in info.fk_edges
+        }
+        zipfs = {
+            parent: datagen.zipf_int(count, 1.1)
+            for parent, count in parent_counts.items()
+        }
+        for i in range(1, info.row_count + 1):
+            row = {info.pk: i}
+            for column in info.numeric_columns:
+                if rng.random() < self.null_fraction:
+                    row[column] = None
+                else:
+                    row[column] = rng.randint(lo, hi)
+            for column, parent, _ppk in info.fk_edges:
+                if rng.random() < self.null_fraction / 2:
+                    row[column] = None
+                elif rng.random() < 0.5:
+                    row[column] = rng.randint(1, parent_counts[parent])
+                else:  # skewed: duplicates make semijoin caching matter
+                    row[column] = min(
+                        zipfs[parent](rng, i), parent_counts[parent]
+                    )
+            rows.append(row)
+        return rows
+
+
+def apps_database(seed: int = 7, **builder_kwargs) -> tuple[Database, AppsSchema]:
+    """Convenience: a Database with a generated applications schema."""
+    db = Database()
+    builder = AppsSchemaBuilder(seed=seed, **builder_kwargs)
+    schema = builder.build(db)
+    return db, schema

@@ -1,0 +1,88 @@
+"""Shared fixtures.
+
+``hr_db`` — the paper's HR demo schema with deterministic data, shared
+module-wide (read-only: tests must not insert into it).
+
+``tiny_db`` — a small 4-table schema with nullable columns and skew,
+rebuilt per test, for tests that mutate data or need exact contents.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Database, OptimizerConfig
+from repro.workload import hr_database
+
+
+@pytest.fixture(scope="session")
+def hr_db() -> Database:
+    return hr_database(scale=1, seed=42)
+
+
+def build_tiny_db(seed: int = 3, rows: int = 80) -> Database:
+    db = Database()
+    db.execute_ddl(
+        "CREATE TABLE employees (emp_id INT PRIMARY KEY, dept_id INT, "
+        "salary INT, employee_name INT, mgr_id INT)"
+    )
+    db.execute_ddl(
+        "CREATE TABLE departments (dept_id INT PRIMARY KEY, loc_id INT, "
+        "department_name INT)"
+    )
+    db.execute_ddl(
+        "CREATE TABLE locations (loc_id INT PRIMARY KEY, country_id INT, "
+        "city INT)"
+    )
+    db.execute_ddl(
+        "CREATE TABLE job_history (emp_id INT, job_title INT, "
+        "start_date INT, dept_id INT)"
+    )
+    db.execute_ddl("CREATE INDEX tiny_emp_dept ON employees (dept_id)")
+    db.execute_ddl("CREATE INDEX tiny_jh_emp ON job_history (emp_id)")
+
+    rng = random.Random(seed)
+
+    def maybe(value, p=0.12):
+        return None if rng.random() < p else value
+
+    db.insert("departments", [
+        {"dept_id": i, "loc_id": rng.randint(1, 5), "department_name": i}
+        for i in range(1, 11)
+    ])
+    db.insert("locations", [
+        {"loc_id": i, "country_id": i % 3, "city": i} for i in range(1, 6)
+    ])
+    db.insert("employees", [
+        {
+            "emp_id": i,
+            "dept_id": maybe(rng.randint(1, 10)),
+            "salary": rng.randint(1, 90),
+            "employee_name": i,
+            "mgr_id": maybe(rng.randint(1, 40)),
+        }
+        for i in range(1, rows + 1)
+    ])
+    db.insert("job_history", [
+        {
+            "emp_id": rng.randint(1, rows),
+            "job_title": maybe(rng.randint(1, 9)),
+            "start_date": rng.randint(1, 100),
+            "dept_id": rng.randint(1, 10),
+        }
+        for _ in range(rows * 3)
+    ])
+    db.analyze()
+    return db
+
+
+@pytest.fixture()
+def tiny_db() -> Database:
+    return build_tiny_db()
+
+
+@pytest.fixture(scope="session")
+def default_config() -> OptimizerConfig:
+    return OptimizerConfig()

@@ -1,0 +1,148 @@
+"""Catalog and schema-definition tests."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, DataType, ForeignKey, Index, TableDef
+from repro.errors import CatalogError
+from repro.sql.parser import parse_ddl
+
+
+def make_catalog():
+    catalog = Catalog()
+    catalog.add_table(TableDef(
+        "parent",
+        [Column("id", DataType.INT, True), Column("x", DataType.INT)],
+        primary_key=("id",),
+    ))
+    catalog.add_table(TableDef(
+        "child",
+        [Column("id", DataType.INT, True), Column("pid", DataType.INT)],
+        primary_key=("id",),
+        foreign_keys=[ForeignKey("child", ("pid",), "parent", ("id",))],
+    ))
+    return catalog
+
+
+class TestTableDef:
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableDef("t", [Column("a", DataType.INT), Column("a", DataType.INT)])
+
+    def test_key_must_reference_existing_columns(self):
+        with pytest.raises(CatalogError):
+            TableDef("t", [Column("a", DataType.INT)], primary_key=("b",))
+
+    def test_is_unique_key_with_pk(self):
+        table = TableDef(
+            "t", [Column("a", DataType.INT), Column("b", DataType.INT)],
+            primary_key=("a",),
+        )
+        assert table.is_unique_key(["a"])
+        assert table.is_unique_key(["a", "b"])  # superset still unique
+        assert not table.is_unique_key(["b"])
+
+    def test_column_lookup_case_insensitive(self):
+        table = TableDef("t", [Column("A", DataType.INT)])
+        assert table.has_column("a")
+        assert table.column("A").name == "a"
+
+
+class TestCatalog:
+    def test_pk_gets_implicit_unique_index(self):
+        catalog = make_catalog()
+        indexes = catalog.indexes_on("parent")
+        assert any(ix.unique and ix.columns == ("id",) for ix in indexes)
+
+    def test_duplicate_table_rejected(self):
+        catalog = make_catalog()
+        with pytest.raises(CatalogError):
+            catalog.add_table(TableDef("parent", [Column("id", DataType.INT)]))
+
+    def test_missing_table_raises(self):
+        with pytest.raises(CatalogError):
+            make_catalog().table("nope")
+
+    def test_index_on_missing_column_rejected(self):
+        catalog = make_catalog()
+        with pytest.raises(CatalogError):
+            catalog.add_index(Index("bad", "parent", ("zzz",)))
+
+    def test_unique_index_registers_unique_key(self):
+        catalog = make_catalog()
+        catalog.add_index(Index("ux", "parent", ("x",), unique=True))
+        assert catalog.table("parent").is_unique_key(["x"])
+
+    def test_indexes_on_leading_column_filter(self):
+        catalog = make_catalog()
+        catalog.add_index(Index("ix1", "parent", ("x", "id")))
+        assert catalog.indexes_on("parent", "x")[0].name == "ix1"
+        assert all(
+            ix.leading_column == "id" for ix in catalog.indexes_on("parent", "id")
+        )
+
+    def test_foreign_key_between(self):
+        catalog = make_catalog()
+        fk = catalog.foreign_key_between("child", "parent")
+        assert fk is not None
+        assert fk.columns == ("pid",)
+        assert catalog.foreign_key_between("parent", "child") is None
+
+    def test_expensive_function_registry(self):
+        catalog = make_catalog()
+        catalog.register_expensive_function("udf", 250.0)
+        assert catalog.is_expensive_function("UDF")
+        assert catalog.function_cost("udf") == 250.0
+        assert catalog.function_cost("upper") == 0.0
+
+
+class TestDdlIntegration:
+    def test_create_table_from_ddl(self):
+        catalog = Catalog()
+        catalog.create_table_from_ddl(parse_ddl(
+            "CREATE TABLE d (id INT PRIMARY KEY, name VARCHAR(10) NOT NULL)"
+        ))
+        catalog.create_table_from_ddl(parse_ddl(
+            "CREATE TABLE t (id INT PRIMARY KEY, d_id INT REFERENCES d(id), "
+            "UNIQUE (d_id))"
+        ))
+        table = catalog.table("t")
+        assert table.primary_key == ("id",)
+        assert ("d_id",) in table.unique_keys
+        assert table.foreign_keys[0].ref_table == "d"
+
+    def test_pk_column_becomes_not_null(self):
+        catalog = Catalog()
+        catalog.create_table_from_ddl(parse_ddl("CREATE TABLE t (id INT PRIMARY KEY)"))
+        assert catalog.table("t").column("id").not_null
+
+    def test_double_primary_key_rejected(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.create_table_from_ddl(parse_ddl(
+                "CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)"
+            ))
+
+    def test_create_index_from_ddl(self):
+        catalog = Catalog()
+        catalog.create_table_from_ddl(parse_ddl("CREATE TABLE t (a INT, b INT)"))
+        catalog.create_index_from_ddl(parse_ddl("CREATE INDEX ix ON t (a, b)"))
+        assert catalog.indexes_on("t", "a")[0].columns == ("a", "b")
+
+
+class TestDataTypes:
+    @pytest.mark.parametrize("sql_type,expected", [
+        ("INT", DataType.INT),
+        ("INTEGER", DataType.INT),
+        ("NUMBER", DataType.FLOAT),
+        ("FLOAT", DataType.FLOAT),
+        ("VARCHAR", DataType.STRING),
+        ("VARCHAR2", DataType.STRING),
+        ("CHAR", DataType.STRING),
+        ("DATE", DataType.DATE),
+    ])
+    def test_from_sql(self, sql_type, expected):
+        assert DataType.from_sql(sql_type) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(CatalogError):
+            DataType.from_sql("BLOB")

@@ -1,0 +1,186 @@
+"""CBQT framework tests: decisions, interleaving, juxtaposition, cost
+cut-off, heuristic fallback mode."""
+
+from collections import Counter
+
+import pytest
+
+from repro import Database, OptimizerConfig
+from repro.cbqt.framework import CbqtConfig, CbqtFramework
+from repro.optimizer.physical import PhysicalOptimizer
+
+
+def optimize(db, sql, **cbqt_kwargs):
+    physical = PhysicalOptimizer(db.catalog, db.statistics)
+    framework = CbqtFramework(db.catalog, physical, CbqtConfig(**cbqt_kwargs))
+    return framework.optimize(db.parse(sql))
+
+
+AGG_SQL = (
+    "SELECT e.emp_id FROM employees e, job_history j "
+    "WHERE e.emp_id = j.emp_id AND j.start_date > 50 AND e.salary > "
+    "(SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e.dept_id)"
+)
+
+
+class TestDecisions:
+    def test_unnesting_decision_recorded(self, tiny_db):
+        _tree, _plan, report = optimize(tiny_db, AGG_SQL)
+        decision = report.decision_for("unnest_view")
+        assert decision is not None
+        assert decision.n_objects == 1
+        assert decision.strategy == "exhaustive"
+        # alternatives: none / unnest / unnest+merge -> 3 states
+        assert decision.states_evaluated == 3
+
+    def test_best_state_cost_not_above_baseline(self, tiny_db):
+        _tree, _plan, report = optimize(tiny_db, AGG_SQL)
+        decision = report.decision_for("unnest_view")
+        assert decision.best_cost <= decision.baseline_cost
+
+    def test_no_decision_for_irrelevant_transformations(self, tiny_db):
+        _tree, _plan, report = optimize(
+            tiny_db, "SELECT emp_id FROM employees WHERE salary > 3"
+        )
+        assert report.decision_for("unnest_view") is None
+        assert report.decision_for("jppd") is None
+
+    def test_transformed_sql_exposed(self, tiny_db):
+        _tree, _plan, report = optimize(tiny_db, AGG_SQL)
+        assert "SELECT" in report.transformed_sql
+
+    def test_forced_strategy(self, tiny_db):
+        _tree, _plan, report = optimize(
+            tiny_db, AGG_SQL, search_strategy="two_pass"
+        )
+        decision = report.decision_for("unnest_view")
+        assert decision.strategy == "two_pass"
+        assert decision.states_evaluated == 2
+
+    def test_result_correct_for_all_strategies(self, tiny_db):
+        expected = Counter(tiny_db.reference_execute(AGG_SQL))
+        for strategy in ("exhaustive", "linear", "iterative", "two_pass"):
+            config = OptimizerConfig().with_strategy(strategy)
+            got = Counter(tiny_db.execute(AGG_SQL, config).rows)
+            assert got == expected, strategy
+
+
+class TestInterleaving:
+    def test_interleaved_alternative_exists(self, tiny_db):
+        _tree, _plan, report = optimize(tiny_db, AGG_SQL, interleaving=True)
+        decision = report.decision_for("unnest_view")
+        assert decision.states_evaluated == 3
+
+    def test_disabling_interleaving_shrinks_space(self, tiny_db):
+        _tree, _plan, report = optimize(tiny_db, AGG_SQL, interleaving=False)
+        decision = report.decision_for("unnest_view")
+        assert decision.states_evaluated == 2
+
+    def test_interleaved_plan_never_worse(self, tiny_db):
+        _t1, plan_with, _r1 = optimize(tiny_db, AGG_SQL, interleaving=True)
+        _t2, plan_without, _r2 = optimize(tiny_db, AGG_SQL, interleaving=False)
+        assert plan_with.cost <= plan_without.cost + 1e-6
+
+
+class TestJuxtaposition:
+    SQL = (
+        "SELECT e.emp_id FROM employees e, "
+        "(SELECT DISTINCT j.dept_id AS k FROM job_history j "
+        "WHERE j.job_title > 2) v "
+        "WHERE e.dept_id = v.k AND e.salary > 50"
+    )
+
+    def test_three_way_choice(self, tiny_db):
+        _tree, _plan, report = optimize(tiny_db, self.SQL, juxtaposition=True)
+        decision = report.decision_for("groupby_merge")
+        assert decision is not None
+        # none / merge / jppd
+        assert decision.states_evaluated == 3
+
+    def test_without_juxtaposition_two_way(self, tiny_db):
+        _tree, _plan, report = optimize(tiny_db, self.SQL, juxtaposition=False)
+        decision = report.decision_for("groupby_merge")
+        assert decision.states_evaluated == 2
+
+    def test_correct_under_both_settings(self, tiny_db):
+        expected = Counter(tiny_db.reference_execute(self.SQL))
+        for juxtaposition in (True, False):
+            _tree, plan, _r = optimize(
+                tiny_db, self.SQL, juxtaposition=juxtaposition
+            )
+            from repro.engine import Executor
+
+            physical = PhysicalOptimizer(tiny_db.catalog, tiny_db.statistics)
+            executor = Executor(
+                tiny_db.storage, tiny_db.catalog, tiny_db.functions,
+                plan_subquery=physical.optimize,
+            )
+            rows, _stats = executor.execute(plan)
+            assert Counter(rows) == expected
+
+
+class TestDisabledTransformations:
+    def test_disabled_unnesting_leaves_subquery(self, tiny_db):
+        tree, _plan, report = optimize(
+            tiny_db, AGG_SQL,
+            disabled_transformations=frozenset(
+                {"unnest_view", "subquery_merge"}
+            ),
+        )
+        assert tree.subquery_exprs()
+        assert report.decision_for("unnest_view") is None
+
+    def test_disabled_jppd_skipped(self, tiny_db):
+        sql = TestJuxtaposition.SQL
+        _tree, _plan, report = optimize(
+            tiny_db, sql, disabled_transformations=frozenset({"jppd"})
+        )
+        assert report.decision_for("jppd") is None
+        # juxtaposition with jppd must also vanish
+        decision = report.decision_for("groupby_merge")
+        assert decision.states_evaluated <= 3
+
+
+class TestHeuristicMode:
+    def test_heuristic_mode_records_no_states(self, tiny_db):
+        _tree, _plan, report = optimize(tiny_db, AGG_SQL, enabled=False)
+        assert report.heuristic_mode
+        for decision in report.decisions:
+            assert decision.strategy == "heuristic"
+
+    def test_pre10g_rule_blocks_unnest_with_index_and_filter(self, tiny_db):
+        # outer filter present + index on e2.dept_id -> rule says keep TIS
+        tree, _plan, _report = optimize(tiny_db, AGG_SQL, enabled=False)
+        assert tree.subquery_exprs()
+
+    def test_pre10g_rule_unnests_without_outer_filter(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id FROM employees e WHERE e.salary > "
+            "(SELECT AVG(e2.salary) FROM employees e2 "
+            "WHERE e2.mgr_id = e.mgr_id)"
+        )
+        # correlation on mgr_id: no index on employees.mgr_id -> unnest
+        tree, _plan, _report = optimize(tiny_db, sql, enabled=False)
+        assert not tree.subquery_exprs()
+
+    def test_heuristic_mode_correct(self, tiny_db):
+        expected = Counter(tiny_db.reference_execute(AGG_SQL))
+        got = Counter(
+            tiny_db.execute(AGG_SQL, OptimizerConfig.heuristic_mode()).rows
+        )
+        assert got == expected
+
+
+class TestCostCutoff:
+    def test_cutoff_preserves_chosen_plan(self, tiny_db):
+        _t1, plan_with, r_with = optimize(tiny_db, AGG_SQL, cost_cutoff=True)
+        _t2, plan_without, r_without = optimize(
+            tiny_db, AGG_SQL, cost_cutoff=False
+        )
+        assert plan_with.cost == pytest.approx(plan_without.cost, rel=1e-6)
+
+    def test_cutoff_abandoned_states_count_infinite(self, tiny_db):
+        _tree, _plan, report = optimize(tiny_db, AGG_SQL, cost_cutoff=True)
+        decision = report.decision_for("unnest_view")
+        # all states still enumerated (aborted ones cost inf internally)
+        assert decision.states_evaluated == 3

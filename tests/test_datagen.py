@@ -1,0 +1,97 @@
+"""Synthetic data-generation primitive tests."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.catalog import datagen
+
+
+def rng():
+    return random.Random(42)
+
+
+class TestGenerators:
+    def test_sequential(self):
+        gen = datagen.sequential_int(10)
+        assert [gen(rng(), i) for i in range(3)] == [10, 11, 12]
+
+    def test_uniform_bounds(self):
+        gen = datagen.uniform_int(5, 9)
+        r = rng()
+        values = [gen(r, i) for i in range(200)]
+        assert min(values) >= 5 and max(values) <= 9
+
+    def test_zipf_is_skewed(self):
+        gen = datagen.zipf_int(100, skew=1.2)
+        r = rng()
+        counts = Counter(gen(r, i) for i in range(5000))
+        top = counts.most_common(1)[0]
+        assert top[0] <= 3               # a head value dominates
+        assert top[1] > 5000 / 100 * 3   # far above uniform share
+
+    def test_foreign_key_uniform(self):
+        gen = datagen.foreign_key([7, 8, 9])
+        r = rng()
+        assert set(gen(r, i) for i in range(100)) <= {7, 8, 9}
+
+    def test_foreign_key_skewed(self):
+        gen = datagen.foreign_key(list(range(1, 101)), skew=1.3)
+        r = rng()
+        counts = Counter(gen(r, i) for i in range(3000))
+        assert counts.most_common(1)[0][1] > 100
+
+    def test_foreign_key_requires_parents(self):
+        with pytest.raises(ValueError):
+            datagen.foreign_key([])
+
+    def test_categorical_weights(self):
+        gen = datagen.categorical(["a", "b"], weights=[0.95, 0.05])
+        r = rng()
+        counts = Counter(gen(r, i) for i in range(500))
+        assert counts["a"] > counts["b"]
+
+    def test_iso_date_sortable(self):
+        gen = datagen.iso_date(2000, 2001)
+        r = rng()
+        values = sorted(gen(r, i) for i in range(50))
+        assert all(v.startswith("200") for v in values)
+        assert values == sorted(values)
+
+    def test_nullable_fraction(self):
+        gen = datagen.nullable(datagen.uniform_int(1, 5), 0.5)
+        r = rng()
+        values = [gen(r, i) for i in range(400)]
+        nulls = sum(1 for v in values if v is None)
+        assert 120 < nulls < 280
+
+    def test_random_name_length(self):
+        gen = datagen.random_name(6)
+        assert len(gen(rng(), 0)) == 6
+
+
+class TestGenerateRows:
+    def test_deterministic_per_seed(self):
+        spec = {
+            "id": datagen.sequential_int(),
+            "v": datagen.uniform_int(1, 100),
+        }
+        a = datagen.generate_rows(spec, 20, seed=9)
+        b = datagen.generate_rows(spec, 20, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        spec = {"v": datagen.uniform_int(1, 1_000_000)}
+        a = datagen.generate_rows(spec, 10, seed=1)
+        b = datagen.generate_rows(spec, 10, seed=2)
+        assert a != b
+
+    def test_row_shape(self):
+        spec = {
+            "id": datagen.sequential_int(),
+            "d": datagen.iso_date(),
+        }
+        rows = datagen.generate_rows(spec, 3, seed=0)
+        assert list(rows[0]) == ["id", "d"]
+        assert rows[2]["id"] == 3

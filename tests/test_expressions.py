@@ -1,0 +1,196 @@
+"""Expression compiler tests: three-valued logic, functions, aggregates."""
+
+import pytest
+
+from repro.engine.expressions import (
+    Accumulator,
+    ExpressionCompiler,
+    FunctionRegistry,
+    is_true,
+    sql_compare,
+    sql_eq,
+)
+from repro.errors import ExecutionError
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+from repro.qtree import exprutil
+
+
+def compile_expr(text):
+    """Parse, qualify bare columns with alias 't', and compile."""
+    expr = parse_expression(text)
+
+    def qualify(node):
+        if isinstance(node, ast.ColumnRef) and node.qualifier is None:
+            return ast.ColumnRef("t", node.name)
+        return None
+
+    expr = exprutil.map_expr(expr, qualify)
+    compiler = ExpressionCompiler(FunctionRegistry())
+    return compiler.compile(expr)
+
+
+def run(text, **cols):
+    row = {f"t.{k}": v for k, v in cols.items()}
+    return compile_expr(text)(row)
+
+
+class TestThreeValuedLogic:
+    def test_comparison_with_null_is_null(self):
+        assert run("a = 1", a=None) is None
+        assert run("a < 1", a=None) is None
+
+    def test_and_kleene(self):
+        assert run("a = 1 AND b = 2", a=1, b=2) is True
+        assert run("a = 1 AND b = 2", a=0, b=None) is False
+        assert run("a = 1 AND b = 2", a=1, b=None) is None
+
+    def test_or_kleene(self):
+        assert run("a = 1 OR b = 2", a=0, b=None) is None
+        assert run("a = 1 OR b = 2", a=1, b=None) is True
+        assert run("a = 1 OR b = 2", a=0, b=0) is False
+
+    def test_not_null_is_null(self):
+        assert run("NOT (a = 1)", a=None) is None
+        assert run("NOT (a = 1)", a=2) is True
+
+    def test_is_null(self):
+        assert run("a IS NULL", a=None) is True
+        assert run("a IS NOT NULL", a=None) is False
+
+    def test_in_list_with_null(self):
+        assert run("a IN (1, 2)", a=1) is True
+        assert run("a IN (1, 2)", a=3) is False
+        assert run("a IN (1, NULL)", a=3) is None   # unknown
+        assert run("a NOT IN (1, NULL)", a=3) is None
+        assert run("a IN (1, NULL)", a=1) is True
+
+    def test_between(self):
+        assert run("a BETWEEN 1 AND 5", a=3) is True
+        assert run("a BETWEEN 1 AND 5", a=9) is False
+        assert run("a BETWEEN 1 AND 5", a=None) is None
+        assert run("a NOT BETWEEN 1 AND 5", a=9) is True
+
+    def test_arithmetic_null_propagation(self):
+        assert run("a + 1", a=None) is None
+        assert run("a * b", a=2, b=None) is None
+
+    def test_where_semantics_null_rejects(self):
+        assert not is_true(None)
+        assert not is_true(False)
+        assert is_true(True)
+
+
+class TestOperators:
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            run("a / 0", a=1)
+
+    def test_null_divided_by_zero_is_null(self):
+        assert run("a / 0", a=None) is None
+
+    def test_concat(self):
+        assert run("a || 'x'", a="y") == "yx"
+        assert run("a || 'x'", a=None) is None
+
+    def test_like(self):
+        assert run("a LIKE 'ab%'", a="abc") is True
+        assert run("a LIKE 'ab_'", a="abc") is True
+        assert run("a LIKE 'ab_'", a="abcd") is False
+        assert run("a LIKE '%'", a=None) is None
+
+    def test_like_special_chars_escaped(self):
+        assert run("a LIKE 'a.c'", a="abc") is False
+        assert run("a LIKE 'a.c'", a="a.c") is True
+
+    def test_case(self):
+        text = "CASE WHEN a > 1 THEN 'big' WHEN a = 1 THEN 'one' ELSE 'small' END"
+        assert run(text, a=5) == "big"
+        assert run(text, a=1) == "one"
+        assert run(text, a=0) == "small"
+        assert run(text, a=None) == "small"
+
+    def test_case_without_else(self):
+        assert run("CASE WHEN a = 1 THEN 2 END", a=9) is None
+
+    def test_mirror_comparison_helpers(self):
+        assert sql_compare("<", 1, 2) is True
+        assert sql_compare(">=", 1, 2) is False
+        assert sql_compare("=", None, 1) is None
+        assert sql_eq(None, None) is None
+
+    def test_incompatible_types_raise(self):
+        with pytest.raises(ExecutionError):
+            run("a < b", a=1, b="x")
+
+
+class TestFunctions:
+    def test_builtins(self):
+        assert run("UPPER(a)", a="abc") == "ABC"
+        assert run("LENGTH(a)", a="abc") == 3
+        assert run("ABS(a)", a=-4) == 4
+        assert run("MOD(a, 3)", a=7) == 1
+        assert run("SUBSTR(a, 2, 2)", a="hello") == "el"
+
+    def test_null_safe_builtins(self):
+        assert run("UPPER(a)", a=None) is None
+
+    def test_nvl_and_coalesce(self):
+        assert run("NVL(a, 5)", a=None) == 5
+        assert run("NVL(a, 5)", a=2) == 2
+        assert run("COALESCE(a, b, 7)", a=None, b=None) == 7
+
+    def test_lnnvl(self):
+        assert run("LNNVL(a = 1)", a=1) is False
+        assert run("LNNVL(a = 1)", a=2) is True
+        assert run("LNNVL(a = 1)", a=None) is True
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExecutionError):
+            run("NO_SUCH_FN(a)", a=1)
+
+    def test_custom_function_registration(self):
+        registry = FunctionRegistry()
+        registry.register("twice", lambda x: x * 2)
+        compiler = ExpressionCompiler(registry)
+        expr = ast.FuncCall("TWICE", [ast.Literal(4)])
+        assert compiler.compile(expr)({}) == 8
+
+
+class TestAccumulator:
+    def test_count_ignores_nulls(self):
+        acc = Accumulator("COUNT", False)
+        for v in [1, None, 2, None]:
+            acc.add(v)
+        assert acc.result() == 2
+
+    def test_count_star(self):
+        acc = Accumulator("COUNT", False)
+        for _ in range(5):
+            acc.add_star()
+        assert acc.result() == 5
+
+    def test_sum_avg_min_max(self):
+        values = [3, 1, None, 2]
+        for name, expected in [("SUM", 6), ("AVG", 2.0), ("MIN", 1), ("MAX", 3)]:
+            acc = Accumulator(name, False)
+            for v in values:
+                acc.add(v)
+            assert acc.result() == expected
+
+    def test_empty_aggregates(self):
+        assert Accumulator("COUNT", False).result() == 0
+        assert Accumulator("SUM", False).result() is None
+        assert Accumulator("AVG", False).result() is None
+
+    def test_distinct(self):
+        acc = Accumulator("COUNT", True)
+        for v in [1, 1, 2, 2, 3]:
+            acc.add(v)
+        assert acc.result() == 3
+
+    def test_sum_distinct(self):
+        acc = Accumulator("SUM", True)
+        for v in [5, 5, 3]:
+            acc.add(v)
+        assert acc.result() == 8

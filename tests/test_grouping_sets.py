@@ -1,0 +1,213 @@
+"""ROLLUP / CUBE / GROUPING SETS and the group pruning transformation
+(§2.1.4)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro import Database
+from repro.errors import UnsupportedError
+from repro.transform.base import apply_everywhere
+from repro.transform.heuristic import GroupPruning
+
+
+@pytest.fixture(scope="module")
+def sales_db():
+    db = Database()
+    db.execute_ddl(
+        "CREATE TABLE sales (country INT, state INT, city INT, amount INT)"
+    )
+    rng = random.Random(5)
+    db.insert("sales", [
+        {
+            "country": rng.randint(1, 3),
+            "state": rng.randint(1, 5),
+            "city": None if rng.random() < 0.1 else rng.randint(1, 9),
+            "amount": rng.randint(1, 100),
+        }
+        for _ in range(300)
+    ])
+    db.analyze()
+    return db
+
+
+ROLLUP_SQL = (
+    "SELECT s.country, s.state, SUM(s.amount) FROM sales s "
+    "GROUP BY ROLLUP (s.country, s.state)"
+)
+
+
+class TestRollupSemantics:
+    def test_rollup_produces_all_levels(self, sales_db):
+        rows = sales_db.execute(ROLLUP_SQL).rows
+        # detail rows, per-country subtotals, grand total
+        assert any(r[0] is not None and r[1] is not None for r in rows)
+        subtotals = [r for r in rows if r[0] is not None and r[1] is None]
+        assert len(subtotals) == 3
+        grand = [r for r in rows if r[0] is None and r[1] is None]
+        assert len(grand) == 1
+
+    def test_grand_total_equals_sum(self, sales_db):
+        rows = sales_db.execute(ROLLUP_SQL).rows
+        grand = next(r for r in rows if r[0] is None and r[1] is None)
+        total = sum(
+            row["amount"] for row in sales_db.storage.get("sales").rows
+        )
+        assert grand[2] == total
+
+    def test_rollup_matches_reference(self, sales_db):
+        assert Counter(sales_db.execute(ROLLUP_SQL).rows) == Counter(
+            sales_db.reference_execute(ROLLUP_SQL)
+        )
+
+    def test_cube_set_count(self, sales_db):
+        sql = (
+            "SELECT s.country, s.state, COUNT(*) FROM sales s "
+            "GROUP BY CUBE (s.country, s.state)"
+        )
+        tree = sales_db.parse(sql)
+        assert len(tree.grouping_sets) == 4
+        assert Counter(sales_db.execute(sql).rows) == Counter(
+            sales_db.reference_execute(sql)
+        )
+
+    def test_grouping_sets_explicit(self, sales_db):
+        sql = (
+            "SELECT s.country, s.state, SUM(s.amount) FROM sales s "
+            "GROUP BY GROUPING SETS ((s.country), (s.state), ())"
+        )
+        tree = sales_db.parse(sql)
+        assert len(tree.grouping_sets) == 3
+        assert Counter(sales_db.execute(sql).rows) == Counter(
+            sales_db.reference_execute(sql)
+        )
+
+    def test_grouping_function(self, sales_db):
+        sql = (
+            "SELECT s.country, GROUPING(s.country), GROUPING(s.state), "
+            "SUM(s.amount) FROM sales s GROUP BY ROLLUP (s.country, s.state)"
+        )
+        rows = sales_db.execute(sql).rows
+        for row in rows:
+            country, g_country, g_state, _total = row
+            assert g_country == (1 if country is None else 0)
+        assert Counter(rows) == Counter(sales_db.reference_execute(sql))
+
+    def test_null_data_vs_rollup_null_distinguished_by_grouping(self, sales_db):
+        # city contains real NULLs; GROUPING() separates them from rollup
+        sql = (
+            "SELECT s.city, GROUPING(s.city), COUNT(*) FROM sales s "
+            "GROUP BY ROLLUP (s.city)"
+        )
+        rows = sales_db.execute(sql).rows
+        data_null = [r for r in rows if r[0] is None and r[1] == 0]
+        rolled_up = [r for r in rows if r[0] is None and r[1] == 1]
+        assert len(data_null) == 1       # the real-NULL city group
+        assert len(rolled_up) == 1       # the grand total
+
+    def test_expression_grouping_unsupported(self, sales_db):
+        with pytest.raises(UnsupportedError):
+            sales_db.parse(
+                "SELECT SUM(s.amount) FROM sales s "
+                "GROUP BY ROLLUP (s.country + 1)"
+            )
+
+    def test_having_applies_per_output_row(self, sales_db):
+        sql = (
+            "SELECT s.country, SUM(s.amount) FROM sales s "
+            "GROUP BY ROLLUP (s.country) HAVING SUM(s.amount) > 1000"
+        )
+        assert Counter(sales_db.execute(sql).rows) == Counter(
+            sales_db.reference_execute(sql)
+        )
+
+
+VIEW_SQL = (
+    "SELECT v.country, v.state, v.total FROM "
+    "(SELECT s.country, s.state, SUM(s.amount) AS total FROM sales s "
+    "GROUP BY ROLLUP (s.country, s.state)) v "
+)
+
+
+class TestGroupPruning:
+    def test_null_rejecting_filter_prunes_sets(self, sales_db):
+        sql = VIEW_SQL + "WHERE v.state = 2"
+        tree = sales_db.parse(sql)
+        pruner = GroupPruning(sales_db.catalog)
+        targets = pruner.find_targets(tree)
+        assert len(targets) == 1
+        tree = pruner.apply(tree, targets[0])
+        view = tree.from_items[0].subquery
+        # only the full (country, state) set survives -> plain GROUP BY
+        assert view.grouping_sets is None
+        assert Counter(sales_db.execute(sql).rows) == Counter(
+            sales_db.reference_execute(sql)
+        )
+
+    def test_filter_on_outer_column_prunes_partially(self, sales_db):
+        sql = VIEW_SQL + "WHERE v.country = 1"
+        tree = sales_db.parse(sql)
+        pruner = GroupPruning(sales_db.catalog)
+        tree = pruner.apply(tree, pruner.find_targets(tree)[0])
+        view = tree.from_items[0].subquery
+        # sets (country) and (country, state) survive; () is pruned
+        assert view.grouping_sets is not None
+        assert len(view.grouping_sets) == 2
+        assert Counter(sales_db.execute(sql).rows) == Counter(
+            sales_db.reference_execute(sql)
+        )
+
+    def test_is_null_filter_does_not_prune(self, sales_db):
+        sql = VIEW_SQL + "WHERE v.state IS NULL"
+        pruner = GroupPruning(sales_db.catalog)
+        assert not pruner.find_targets(sales_db.parse(sql))
+        assert Counter(sales_db.execute(sql).rows) == Counter(
+            sales_db.reference_execute(sql)
+        )
+
+    def test_grouping_indicator_predicate_prunes(self, sales_db):
+        sql = (
+            "SELECT v.country, v.total FROM "
+            "(SELECT s.country, s.state, SUM(s.amount) AS total, "
+            "GROUPING(s.state) AS gs FROM sales s "
+            "GROUP BY ROLLUP (s.country, s.state)) v WHERE v.gs = 1"
+        )
+        tree = sales_db.parse(sql)
+        pruner = GroupPruning(sales_db.catalog)
+        targets = pruner.find_targets(tree)
+        assert targets
+        tree = pruner.apply(tree, targets[0])
+        view = tree.from_items[0].subquery
+        # only sets rolling up state survive: (country) and ()
+        assert all(1 not in s for s in view.grouping_sets)
+        assert Counter(sales_db.execute(sql).rows) == Counter(
+            sales_db.reference_execute(sql)
+        )
+
+    def test_contradictory_filters_empty_the_view(self, sales_db):
+        # demanding both grouped and rolled-up state prunes every set
+        sql = (
+            "SELECT v.country, v.total FROM "
+            "(SELECT s.country, s.state, SUM(s.amount) AS total, "
+            "GROUPING(s.state) AS gs FROM sales s "
+            "GROUP BY ROLLUP (s.country, s.state)) v "
+            "WHERE v.gs = 1 AND v.state = 3"
+        )
+        assert sales_db.execute(sql).rows == []
+        assert sales_db.reference_execute(sql) == []
+
+    def test_pruning_in_full_pipeline(self, sales_db):
+        sql = VIEW_SQL + "WHERE v.state = 2 AND v.country = 1"
+        optimized = sales_db.optimize(sql)
+        # after pruning + pushdown + merging, no grouping sets remain
+        assert "GROUPING SETS" not in optimized.transformed_sql
+        assert Counter(sales_db.execute(sql).rows) == Counter(
+            sales_db.reference_execute(sql)
+        )
+
+    def test_ordered_rollup_query(self, sales_db):
+        sql = ROLLUP_SQL + " ORDER BY 3 DESC"
+        rows = sales_db.execute(sql).rows
+        totals = [r[2] for r in rows]
+        assert totals == sorted(totals, reverse=True)

@@ -1,0 +1,141 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def types(sql):
+    return [t.type for t in tokenize(sql)]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_keywords_are_upcased(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:3])
+
+    def test_identifiers_keep_spelling(self):
+        token = tokenize("MyTable")[0]
+        assert token.type is TokenType.IDENT
+        assert token.value == "MyTable"
+
+    def test_identifier_with_special_chars(self):
+        assert values("emp_id emp$x emp#1") == ["emp_id", "emp$x", "emp#1"]
+
+    def test_eof_is_last(self):
+        assert tokenize("x")[-1].type is TokenType.EOF
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("12345")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == "12345"
+
+    def test_decimal(self):
+        assert tokenize("3.14")[0].value == "3.14"
+
+    def test_leading_dot(self):
+        assert tokenize(".5")[0].value == ".5"
+
+    def test_exponent(self):
+        assert tokenize("1e3")[0].value == "1e3"
+        assert tokenize("2.5E-2")[0].value == "2.5E-2"
+
+    def test_bad_exponent_raises(self):
+        with pytest.raises(LexError):
+            tokenize("1e")
+
+    def test_double_dot_raises(self):
+        with pytest.raises(LexError):
+            tokenize("1.2.3")
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_doubled_quote_escape(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+    def test_empty_string(self):
+        assert tokenize("''")[0].value == ""
+
+
+class TestOperatorsAndPunctuation:
+    def test_multi_char_operators(self):
+        assert values("<= >= <> != ||") == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_single_char_operators(self):
+        assert values("= < > + - /") == ["=", "<", ">", "+", "-", "/"]
+
+    def test_star_token_type(self):
+        assert tokenize("*")[0].type is TokenType.STAR
+
+    def test_punctuation(self):
+        tokens = tokenize("(a, b.c)")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.LPAREN, TokenType.IDENT, TokenType.COMMA,
+            TokenType.IDENT, TokenType.DOT, TokenType.IDENT,
+            TokenType.RPAREN,
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a -- comment here\n b") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert tokens[1].line == 2
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ab\n  @")
+        assert excinfo.value.line == 2
+
+
+class TestQuotedIdentifiers:
+    def test_quoted_identifier(self):
+        token = tokenize('"Weird Name"')[0]
+        assert token.type is TokenType.IDENT
+        assert token.value == "Weird Name"
+
+    def test_quoted_keyword_stays_identifier(self):
+        assert tokenize('"select"')[0].type is TokenType.IDENT
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')

@@ -1,0 +1,320 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse_ddl, parse_expression, parse_query
+
+
+class TestSelectBasics:
+    def test_minimal_select(self):
+        stmt = parse_query("SELECT a FROM t")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert len(stmt.select_items) == 1
+        assert isinstance(stmt.from_items[0], ast.TableName)
+
+    def test_star(self):
+        stmt = parse_query("SELECT * FROM t")
+        assert isinstance(stmt.select_items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_query("SELECT t.* FROM t")
+        star = stmt.select_items[0].expr
+        assert isinstance(star, ast.Star)
+        assert star.qualifier == "t"
+
+    def test_aliases(self):
+        stmt = parse_query("SELECT a AS x, b y FROM t")
+        assert stmt.select_items[0].alias == "x"
+        assert stmt.select_items[1].alias == "y"
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT a FROM t").distinct
+
+    def test_table_alias(self):
+        stmt = parse_query("SELECT a FROM employees e1")
+        assert stmt.from_items[0].alias == "e1"
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM t extra stuff ,")
+
+    def test_missing_from_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a")
+
+
+class TestWhereClauses:
+    def test_comparison_chain(self):
+        stmt = parse_query("SELECT a FROM t WHERE a > 1 AND b <= 2 OR c = 3")
+        assert isinstance(stmt.where, ast.Or)
+
+    def test_and_precedence_over_or(self):
+        where = parse_query("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3").where
+        assert isinstance(where, ast.Or)
+        assert isinstance(where.operands[1], ast.And)
+
+    def test_not(self):
+        where = parse_query("SELECT a FROM t WHERE NOT a = 1").where
+        assert isinstance(where, ast.Not)
+
+    def test_between(self):
+        where = parse_query("SELECT a FROM t WHERE a BETWEEN 1 AND 5").where
+        assert isinstance(where, ast.Between)
+
+    def test_not_between(self):
+        where = parse_query("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 5").where
+        assert isinstance(where, ast.Between)
+        assert where.negated
+
+    def test_like(self):
+        where = parse_query("SELECT a FROM t WHERE name LIKE 'ab%'").where
+        assert isinstance(where, ast.Like)
+
+    def test_is_null_and_is_not_null(self):
+        w1 = parse_query("SELECT a FROM t WHERE a IS NULL").where
+        w2 = parse_query("SELECT a FROM t WHERE a IS NOT NULL").where
+        assert isinstance(w1, ast.IsNull) and not w1.negated
+        assert isinstance(w2, ast.IsNull) and w2.negated
+
+    def test_in_list(self):
+        where = parse_query("SELECT a FROM t WHERE a IN (1, 2, 3)").where
+        assert isinstance(where, ast.InList)
+        assert len(where.items) == 3
+
+    def test_not_in_list(self):
+        where = parse_query("SELECT a FROM t WHERE a NOT IN (1)").where
+        assert where.negated
+
+
+class TestSubqueries:
+    def test_exists(self):
+        where = parse_query(
+            "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)"
+        ).where
+        assert isinstance(where, ast.SubqueryExpr)
+        assert where.kind == "EXISTS"
+
+    def test_in_subquery(self):
+        where = parse_query(
+            "SELECT a FROM t WHERE a IN (SELECT b FROM u)"
+        ).where
+        assert where.kind == "IN"
+
+    def test_row_in_subquery(self):
+        where = parse_query(
+            "SELECT a FROM t WHERE (a, b) IN (SELECT c, d FROM u)"
+        ).where
+        assert isinstance(where.left, ast.RowExpr)
+
+    def test_quantified_any(self):
+        where = parse_query(
+            "SELECT a FROM t WHERE a > ANY (SELECT b FROM u)"
+        ).where
+        assert where.kind == "QUANTIFIED"
+        assert where.quantifier == "ANY"
+
+    def test_some_is_any(self):
+        where = parse_query(
+            "SELECT a FROM t WHERE a = SOME (SELECT b FROM u)"
+        ).where
+        assert where.quantifier == "ANY"
+
+    def test_quantified_all(self):
+        where = parse_query(
+            "SELECT a FROM t WHERE a <= ALL (SELECT b FROM u)"
+        ).where
+        assert where.quantifier == "ALL"
+
+    def test_scalar_subquery(self):
+        where = parse_query(
+            "SELECT a FROM t WHERE a > (SELECT AVG(b) FROM u)"
+        ).where
+        assert isinstance(where, ast.BinOp)
+        assert isinstance(where.right, ast.SubqueryExpr)
+        assert where.right.kind == "SCALAR"
+
+
+class TestJoins:
+    def test_comma_join(self):
+        stmt = parse_query("SELECT a FROM t, u, v")
+        assert len(stmt.from_items) == 3
+
+    def test_inner_join(self):
+        stmt = parse_query("SELECT a FROM t JOIN u ON t.x = u.y")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.JoinExpr)
+        assert join.kind == "INNER"
+
+    def test_left_outer_join(self):
+        stmt = parse_query("SELECT a FROM t LEFT OUTER JOIN u ON t.x = u.y")
+        assert stmt.from_items[0].kind == "LEFT"
+
+    def test_left_join_without_outer(self):
+        stmt = parse_query("SELECT a FROM t LEFT JOIN u ON t.x = u.y")
+        assert stmt.from_items[0].kind == "LEFT"
+
+    def test_right_join(self):
+        stmt = parse_query("SELECT a FROM t RIGHT JOIN u ON t.x = u.y")
+        assert stmt.from_items[0].kind == "RIGHT"
+
+    def test_join_chain(self):
+        stmt = parse_query(
+            "SELECT a FROM t JOIN u ON t.x = u.y JOIN v ON u.z = v.w"
+        )
+        outer = stmt.from_items[0]
+        assert isinstance(outer.left, ast.JoinExpr)
+
+    def test_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT a FROM t JOIN u")
+
+    def test_cross_join(self):
+        stmt = parse_query("SELECT a FROM t CROSS JOIN u")
+        assert stmt.from_items[0].kind == "CROSS"
+
+    def test_derived_table(self):
+        stmt = parse_query("SELECT a FROM (SELECT b FROM u) v")
+        derived = stmt.from_items[0]
+        assert isinstance(derived, ast.DerivedTable)
+        assert derived.alias == "v"
+
+
+class TestGroupingAndOrdering:
+    def test_group_by_and_having(self):
+        stmt = parse_query(
+            "SELECT a, COUNT(b) FROM t GROUP BY a HAVING COUNT(b) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by_desc(self):
+        stmt = parse_query("SELECT a FROM t ORDER BY a DESC, b")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_count_star(self):
+        stmt = parse_query("SELECT COUNT(*) FROM t")
+        call = stmt.select_items[0].expr
+        assert isinstance(call.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        stmt = parse_query("SELECT COUNT(DISTINCT a) FROM t")
+        assert stmt.select_items[0].expr.distinct
+
+
+class TestSetOperations:
+    def test_union_all(self):
+        stmt = parse_query("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert isinstance(stmt, ast.SetOpStmt)
+        assert stmt.op == "UNION ALL"
+
+    def test_union_distinct(self):
+        stmt = parse_query("SELECT a FROM t UNION SELECT b FROM u")
+        assert stmt.op == "UNION"
+
+    def test_minus_and_except(self):
+        assert parse_query("SELECT a FROM t MINUS SELECT b FROM u").op == "MINUS"
+        assert parse_query("SELECT a FROM t EXCEPT SELECT b FROM u").op == "MINUS"
+
+    def test_intersect(self):
+        stmt = parse_query("SELECT a FROM t INTERSECT SELECT b FROM u")
+        assert stmt.op == "INTERSECT"
+
+    def test_left_associativity(self):
+        stmt = parse_query(
+            "SELECT a FROM t UNION SELECT b FROM u MINUS SELECT c FROM v"
+        )
+        assert stmt.op == "MINUS"
+        assert stmt.left.op == "UNION"
+
+    def test_set_op_order_by(self):
+        stmt = parse_query(
+            "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1 DESC"
+        )
+        assert stmt.order_by[0].descending
+
+    def test_parenthesised_branch(self):
+        stmt = parse_query("(SELECT a FROM t) UNION ALL SELECT b FROM u")
+        assert stmt.op == "UNION ALL"
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_unary_minus_folds_literal(self):
+        expr = parse_expression("-5")
+        assert isinstance(expr, ast.Literal)
+        assert expr.value == -5
+
+    def test_case_expression(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN 2 ELSE 3 END")
+        assert isinstance(expr, ast.Case)
+        assert expr.default is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_concat(self):
+        expr = parse_expression("a || b")
+        assert expr.op == "||"
+
+    def test_window_function(self):
+        expr = parse_expression(
+            "AVG(x) OVER (PARTITION BY a ORDER BY b "
+            "ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW)"
+        )
+        assert isinstance(expr, ast.WindowFunc)
+        assert expr.frame.kind == "ROWS"
+
+    def test_window_without_frame(self):
+        expr = parse_expression("SUM(x) OVER (PARTITION BY a)")
+        assert expr.frame is None
+
+    def test_null_true_false_literals(self):
+        assert parse_expression("NULL").value is None
+        assert parse_expression("TRUE").value is True
+        assert parse_expression("FALSE").value is False
+
+
+class TestDdl:
+    def test_create_table_with_constraints(self):
+        stmt = parse_ddl(
+            "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20) NOT NULL, "
+            "d_id INT REFERENCES d(id), UNIQUE (name))"
+        )
+        assert stmt.name == "t"
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].references == ("d", "id")
+        assert stmt.constraints[0].kind == "UNIQUE"
+
+    def test_composite_primary_key(self):
+        stmt = parse_ddl("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+        assert stmt.constraints[0].columns == ["a", "b"]
+
+    def test_foreign_key_constraint(self):
+        stmt = parse_ddl(
+            "CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES p (id))"
+        )
+        fk = stmt.constraints[0]
+        assert fk.kind == "FOREIGN KEY"
+        assert fk.ref_table == "p"
+
+    def test_create_index(self):
+        stmt = parse_ddl("CREATE UNIQUE INDEX ix ON t (a, b)")
+        assert stmt.unique
+        assert stmt.columns == ["a", "b"]
+
+    def test_number_precision(self):
+        stmt = parse_ddl("CREATE TABLE t (x NUMBER(10, 2))")
+        assert stmt.columns[0].type_name == "NUMBER"
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ParseError):
+            parse_ddl("CREATE TABLE t (x BLOB)")

@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis).
+
+Core invariants:
+
+* every optimizer configuration produces the same rows as the reference
+  evaluator, over randomly generated data with NULLs and skew;
+* expression compilation matches a direct three-valued-logic model;
+* query-tree clone is a fixpoint of the structural signature;
+* histogram selectivities are true fractions and monotone in the bound.
+"""
+
+import random
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Database, OptimizerConfig
+from repro.catalog.statistics import Histogram
+from repro.engine.expressions import ExpressionCompiler, FunctionRegistry
+from repro.sql import ast
+
+
+# ---------------------------------------------------------------------------
+# expression three-valued logic vs a model
+# ---------------------------------------------------------------------------
+
+values = st.one_of(st.none(), st.integers(min_value=-5, max_value=5))
+
+
+@st.composite
+def comparison_exprs(draw):
+    op = draw(st.sampled_from(sorted(ast.COMPARISON_OPERATORS)))
+    return op
+
+
+@given(a=values, b=values, op=comparison_exprs())
+def test_comparison_matches_model(a, b, op):
+    compiler = ExpressionCompiler(FunctionRegistry())
+    expr = ast.BinOp(
+        op, ast.ColumnRef("t", "a"), ast.ColumnRef("t", "b")
+    )
+    result = compiler.compile(expr)({"t.a": a, "t.b": b})
+    if a is None or b is None:
+        assert result is None
+    else:
+        import operator
+
+        model = {
+            "=": operator.eq, "<>": operator.ne, "<": operator.lt,
+            "<=": operator.le, ">": operator.gt, ">=": operator.ge,
+        }[op]
+        assert result == model(a, b)
+
+
+@given(operands=st.lists(st.one_of(st.booleans(), st.none()),
+                         min_size=1, max_size=5))
+def test_kleene_and_or(operands):
+    compiler = ExpressionCompiler(FunctionRegistry())
+    literals = [ast.Literal(v) for v in operands]
+    and_result = compiler.compile(ast.And(literals))({})
+    or_result = compiler.compile(ast.Or(literals))({})
+    if False in operands:
+        assert and_result is False
+    elif None in operands:
+        assert and_result is None
+    else:
+        assert and_result is True
+    if True in operands:
+        assert or_result is True
+    elif None in operands:
+        assert or_result is None
+    else:
+        assert or_result is False
+
+
+# ---------------------------------------------------------------------------
+# histogram invariants
+# ---------------------------------------------------------------------------
+
+@given(values=st.lists(st.integers(min_value=0, max_value=200),
+                       min_size=1, max_size=400),
+       bound=st.integers(min_value=-10, max_value=210))
+def test_histogram_range_is_a_fraction(values, bound):
+    hist = Histogram(values, buckets=8)
+    sel = hist.selectivity_range(None, bound)
+    assert 0.0 <= sel <= 1.0
+    truth = sum(1 for v in values if v <= bound) / len(values)
+    # frequency histograms are exact; equi-height within a bucket
+    tolerance = 1.0 if not hist.is_frequency else 1e-9
+    assert abs(sel - truth) <= (0.3 if not hist.is_frequency else 1e-9)
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=100),
+                       min_size=2, max_size=300))
+def test_histogram_cumulative_monotone(values):
+    hist = Histogram(values, buckets=8)
+    previous = -1.0
+    for bound in range(0, 101, 10):
+        sel = hist.selectivity_range(None, bound)
+        assert sel >= previous - 1e-9
+        previous = sel
+
+
+# ---------------------------------------------------------------------------
+# whole-stack equivalence on random data
+# ---------------------------------------------------------------------------
+
+QUERY_POOL = [
+    "SELECT p.id FROM parent p WHERE EXISTS "
+    "(SELECT 1 FROM child c WHERE c.pid = p.id AND c.v > 3)",
+    "SELECT p.id FROM parent p WHERE p.id NOT IN "
+    "(SELECT c.pid FROM child c WHERE c.v > 5)",
+    "SELECT p.id FROM parent p WHERE p.w > "
+    "(SELECT AVG(c.v) FROM child c WHERE c.pid = p.id)",
+    "SELECT p.w, COUNT(c.v) FROM parent p, child c "
+    "WHERE c.pid = p.id GROUP BY p.w",
+    "SELECT p.id FROM parent p, "
+    "(SELECT DISTINCT c.pid AS k FROM child c WHERE c.v > 2) s "
+    "WHERE p.id = s.k",
+    "SELECT c.pid FROM child c MINUS SELECT p.id FROM parent p WHERE p.w > 4",
+    "SELECT p.id FROM parent p, child c WHERE c.pid = p.id "
+    "AND (p.w = 1 OR c.v > 6)",
+    "SELECT p.id FROM parent p LEFT OUTER JOIN child c ON c.pid = p.id "
+    "WHERE c.pid IS NULL",
+]
+
+
+def build_random_db(seed: int) -> Database:
+    rng = random.Random(seed)
+    db = Database()
+    db.execute_ddl("CREATE TABLE parent (id INT PRIMARY KEY, w INT)")
+    db.execute_ddl(
+        "CREATE TABLE child (cid INT PRIMARY KEY, pid INT, v INT)"
+    )
+    db.execute_ddl("CREATE INDEX child_pid ON child (pid)")
+    n_parent = rng.randint(3, 15)
+    n_child = rng.randint(0, 40)
+    db.insert("parent", [
+        {"id": i, "w": None if rng.random() < 0.2 else rng.randint(0, 8)}
+        for i in range(1, n_parent + 1)
+    ])
+    db.insert("child", [
+        {
+            "cid": i,
+            "pid": None if rng.random() < 0.2 else rng.randint(1, n_parent + 2),
+            "v": None if rng.random() < 0.2 else rng.randint(0, 9),
+        }
+        for i in range(1, n_child + 1)
+    ])
+    db.analyze()
+    return db
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       query_index=st.integers(min_value=0, max_value=len(QUERY_POOL) - 1),
+       heuristic=st.booleans())
+def test_optimized_execution_matches_reference(seed, query_index, heuristic):
+    db = build_random_db(seed)
+    sql = QUERY_POOL[query_index]
+    expected = Counter(db.reference_execute(sql))
+    config = (
+        OptimizerConfig.heuristic_mode() if heuristic else OptimizerConfig()
+    )
+    got = Counter(db.execute(sql, config).rows)
+    assert got == expected
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       query_index=st.integers(min_value=0, max_value=len(QUERY_POOL) - 1))
+def test_clone_signature_fixpoint(seed, query_index):
+    from repro.qtree import signature
+
+    db = build_random_db(seed)
+    tree = db.parse(QUERY_POOL[query_index])
+    assert signature(tree.clone()) == signature(tree)
+    assert signature(tree.clone().clone()) == signature(tree)

@@ -1,0 +1,169 @@
+"""Reference evaluator behaviour tests (the semantics oracle itself needs
+pinning on the subtle SQL corners)."""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute_ddl("CREATE TABLE a (id INT PRIMARY KEY, v INT, g INT)")
+    database.execute_ddl("CREATE TABLE b (id INT PRIMARY KEY, a_id INT, w INT)")
+    database.insert("a", [
+        {"id": 1, "v": 10, "g": 1},
+        {"id": 2, "v": None, "g": 1},
+        {"id": 3, "v": 30, "g": None},
+    ])
+    database.insert("b", [
+        {"id": 1, "a_id": 1, "w": 5},
+        {"id": 2, "a_id": 1, "w": None},
+        {"id": 3, "a_id": None, "w": 7},
+    ])
+    database.analyze()
+    return database
+
+
+class TestNullSemantics:
+    def test_where_null_filters(self, db):
+        rows = db.reference_execute("SELECT id FROM a WHERE v > 5")
+        assert sorted(rows) == [(1,), (3,)]
+
+    def test_group_by_null_forms_one_group(self, db):
+        rows = db.reference_execute(
+            "SELECT g, COUNT(*) FROM a GROUP BY g"
+        )
+        assert sorted(rows, key=str) == sorted(
+            [(1, 2), (None, 1)], key=str
+        )
+
+    def test_distinct_treats_nulls_equal(self, db):
+        db.insert("a", [{"id": 4, "v": 99, "g": None}])
+        rows = db.reference_execute("SELECT DISTINCT g FROM a")
+        assert len(rows) == 2
+
+    def test_avg_ignores_nulls(self, db):
+        rows = db.reference_execute("SELECT AVG(v) FROM a")
+        assert rows == [(20.0,)]
+
+    def test_count_star_vs_count_column(self, db):
+        rows = db.reference_execute("SELECT COUNT(*), COUNT(v) FROM a")
+        assert rows == [(3, 2)]
+
+    def test_scalar_aggregate_on_empty_input(self, db):
+        rows = db.reference_execute(
+            "SELECT COUNT(v), SUM(v), MIN(v) FROM a WHERE v > 1000"
+        )
+        assert rows == [(0, None, None)]
+
+    def test_group_by_on_empty_input_yields_nothing(self, db):
+        rows = db.reference_execute(
+            "SELECT g, COUNT(*) FROM a WHERE v > 1000 GROUP BY g"
+        )
+        assert rows == []
+
+
+class TestOrdering:
+    def test_nulls_last_ascending(self, db):
+        rows = db.reference_execute("SELECT v FROM a ORDER BY v")
+        assert rows == [(10,), (30,), (None,)]
+
+    def test_nulls_first_descending(self, db):
+        rows = db.reference_execute("SELECT v FROM a ORDER BY v DESC")
+        assert rows == [(None,), (30,), (10,)]
+
+    def test_multi_key_stability(self, db):
+        rows = db.reference_execute(
+            "SELECT g, id FROM a ORDER BY g DESC, id"
+        )
+        assert rows[0][0] is None  # DESC: nulls first
+        tail = [r for r in rows if r[0] is not None]
+        assert tail == sorted(tail)
+
+
+class TestSubqueryEdges:
+    def test_scalar_subquery_empty_is_null(self, db):
+        rows = db.reference_execute(
+            "SELECT a.id FROM a WHERE a.v = "
+            "(SELECT b.w FROM b WHERE b.id = 99)"
+        )
+        assert rows == []
+
+    def test_scalar_subquery_multirow_errors(self, db):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            db.reference_execute(
+                "SELECT a.id FROM a WHERE a.v = (SELECT b.w FROM b)"
+            )
+
+    def test_not_in_with_null_in_subquery_is_empty(self, db):
+        # b.w contains NULL -> x NOT IN (...) is never TRUE
+        rows = db.reference_execute(
+            "SELECT a.id FROM a WHERE a.v NOT IN (SELECT b.w FROM b)"
+        )
+        assert rows == []
+
+    def test_not_in_empty_subquery_keeps_all(self, db):
+        rows = db.reference_execute(
+            "SELECT a.id FROM a WHERE a.v NOT IN "
+            "(SELECT b.w FROM b WHERE b.id = 99)"
+        )
+        assert len(rows) == 3  # even the NULL-v row: NOT IN () is TRUE
+
+    def test_exists_ignores_select_list(self, db):
+        rows = db.reference_execute(
+            "SELECT a.id FROM a WHERE EXISTS "
+            "(SELECT 1 FROM b WHERE b.a_id = a.id)"
+        )
+        assert rows == [(1,)]
+
+    def test_all_on_empty_subquery_is_true(self, db):
+        rows = db.reference_execute(
+            "SELECT a.id FROM a WHERE a.v > ALL "
+            "(SELECT b.w FROM b WHERE b.id = 99)"
+        )
+        assert len(rows) == 3
+
+    def test_any_with_null_never_leaks_unknown(self, db):
+        rows = db.reference_execute(
+            "SELECT a.id FROM a WHERE a.v > ANY (SELECT b.w FROM b)"
+        )
+        assert sorted(rows) == [(1,), (3,)]
+
+
+class TestJoinEdges:
+    def test_left_join_null_extension(self, db):
+        rows = db.reference_execute(
+            "SELECT a.id, b.id FROM a LEFT OUTER JOIN b ON b.a_id = a.id"
+        )
+        unmatched = [r for r in rows if r[1] is None]
+        assert {r[0] for r in unmatched} == {2, 3}
+
+    def test_join_on_null_never_matches(self, db):
+        rows = db.reference_execute(
+            "SELECT a.id FROM a, b WHERE a.g = b.a_id AND a.id = 3"
+        )
+        assert rows == []  # a.g is NULL for id 3
+
+    def test_cross_join_cardinality(self, db):
+        rows = db.reference_execute("SELECT a.id, b.id FROM a, b")
+        assert len(rows) == 9
+
+
+class TestRownum:
+    def test_rownum_zero(self, db):
+        assert db.reference_execute("SELECT id FROM a WHERE rownum < 1") == []
+
+    def test_rownum_larger_than_table(self, db):
+        rows = db.reference_execute("SELECT id FROM a WHERE rownum <= 99")
+        assert len(rows) == 3
+
+    def test_rownum_applies_before_order_by(self, db):
+        # Oracle semantics: ROWNUM filters the unsorted stream
+        rows = db.reference_execute(
+            "SELECT id FROM a WHERE rownum <= 2 ORDER BY id DESC"
+        )
+        assert len(rows) == 2
+        assert rows == sorted(rows, reverse=True)

@@ -1,0 +1,79 @@
+"""Renderer tests: literal formatting and parse/render round trips."""
+
+import pytest
+
+from repro.sql import parse_query, render_statement
+from repro.sql.render import render_expr, render_literal
+from repro.sql.parser import parse_expression
+
+
+class TestLiterals:
+    def test_null(self):
+        assert render_literal(None) == "NULL"
+
+    def test_booleans(self):
+        assert render_literal(True) == "TRUE"
+        assert render_literal(False) == "FALSE"
+
+    def test_string_escaping(self):
+        assert render_literal("it's") == "'it''s'"
+
+    def test_integral_float(self):
+        assert render_literal(3.0) == "3.0"
+
+    def test_int(self):
+        assert render_literal(42) == "42"
+
+
+ROUND_TRIP_QUERIES = [
+    "SELECT a FROM t",
+    "SELECT DISTINCT a, b AS x FROM t u",
+    "SELECT a FROM t WHERE a > 1 AND (b = 2 OR c < 3)",
+    "SELECT a FROM t WHERE a IN (1, 2, 3)",
+    "SELECT a FROM t WHERE a NOT IN (SELECT b FROM u)",
+    "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.y)",
+    "SELECT a FROM t WHERE a BETWEEN 1 AND 5",
+    "SELECT a FROM t WHERE name LIKE 'x%'",
+    "SELECT a FROM t WHERE a IS NOT NULL",
+    "SELECT a, COUNT(b) FROM t GROUP BY a HAVING COUNT(b) > 1 ORDER BY a DESC",
+    "SELECT a FROM t LEFT OUTER JOIN u ON t.x = u.y",
+    "SELECT a FROM (SELECT b AS a FROM u) v",
+    "SELECT a FROM t UNION ALL SELECT b FROM u",
+    "SELECT a FROM t MINUS SELECT b FROM u",
+    "SELECT a FROM t WHERE x > ALL (SELECT y FROM u)",
+    "SELECT CASE WHEN a > 1 THEN 'hi' ELSE 'lo' END FROM t",
+    "SELECT AVG(x) OVER (PARTITION BY a ORDER BY b) FROM t",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_QUERIES)
+def test_round_trip_is_stable(sql):
+    """render(parse(render(parse(sql)))) == render(parse(sql))."""
+    once = render_statement(parse_query(sql))
+    twice = render_statement(parse_query(once))
+    assert once == twice
+
+
+class TestExpressionRendering:
+    def test_nested_parenthesisation(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert render_expr(expr) == "(1 + 2) * 3"
+
+    def test_or_inside_and_is_parenthesised(self):
+        expr = parse_expression("a = 1 AND (b = 2 OR c = 3)")
+        text = render_expr(expr)
+        assert "(" in text
+        reparsed = parse_expression(text)
+        assert render_expr(reparsed) == text
+
+    def test_not_renders(self):
+        expr = parse_expression("NOT (a = 1)")
+        assert render_expr(expr).startswith("NOT")
+
+    def test_window_frame_renders(self):
+        expr = parse_expression(
+            "SUM(x) OVER (ORDER BY y ROWS BETWEEN UNBOUNDED PRECEDING "
+            "AND CURRENT ROW)"
+        )
+        text = render_expr(expr)
+        assert "ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW" in text

@@ -1,0 +1,160 @@
+"""State-space search strategy tests (§3.2 of the paper)."""
+
+import math
+
+import pytest
+
+from repro.cbqt.search import (
+    choose_strategy,
+    exhaustive_search,
+    iterative_search,
+    linear_search,
+    two_pass_search,
+)
+
+
+def make_cost_fn(table):
+    calls = []
+
+    def cost_fn(state):
+        calls.append(state)
+        return table[state]
+
+    cost_fn.calls = calls
+    return cost_fn
+
+
+class TestExhaustive:
+    def test_visits_all_states(self):
+        table = {
+            (0, 0): 10.0, (0, 1): 8.0, (1, 0): 6.0, (1, 1): 4.0,
+        }
+        result = exhaustive_search([2, 2], make_cost_fn(table))
+        assert result.states_evaluated == 4
+        assert result.best_state == (1, 1)
+        assert result.best_cost == 4.0
+
+    def test_paper_table2_state_count(self):
+        # 4 binary objects -> 16 states (Table 2, Exhaustive row)
+        table = {s: sum(s) + 1.0 for s in
+                 [(a, b, c, d) for a in range(2) for b in range(2)
+                  for c in range(2) for d in range(2)]}
+        result = exhaustive_search([2, 2, 2, 2], make_cost_fn(table))
+        assert result.states_evaluated == 16
+
+    def test_ternary_alternatives(self):
+        table = {(i,): 10.0 - i for i in range(3)}
+        result = exhaustive_search([3], make_cost_fn(table))
+        assert result.states_evaluated == 3
+        assert result.best_state == (2,)
+
+
+class TestTwoPass:
+    def test_exactly_two_states(self):
+        table = {(0, 0, 0): 9.0, (1, 1, 1): 5.0}
+        result = two_pass_search([2, 2, 2], make_cost_fn(table))
+        assert result.states_evaluated == 2
+        assert result.best_state == (1, 1, 1)
+
+    def test_misses_mixed_optimum(self):
+        # the optimum (1,0) is invisible to two-pass
+        table = {(0, 0): 9.0, (1, 1): 8.0, (1, 0): 1.0, (0, 1): 7.0}
+        result = two_pass_search([2, 2], make_cost_fn(table))
+        assert result.best_state == (1, 1)
+
+
+class TestLinear:
+    def test_n_plus_one_states_for_binary(self):
+        # paper: 4 subqueries -> 5 states (Table 2, Linear row)
+        table = {}
+        for a in range(2):
+            for b in range(2):
+                for c in range(2):
+                    for d in range(2):
+                        table[(a, b, c, d)] = 20.0 - (a + b + c + d)
+        result = linear_search([2, 2, 2, 2], make_cost_fn(table))
+        assert result.states_evaluated == 5
+        assert result.best_state == (1, 1, 1, 1)
+
+    def test_keeps_improvement_drops_regression(self):
+        table = {
+            (0, 0): 10.0,
+            (1, 0): 5.0,    # improvement: keep
+            (1, 1): 7.0,    # regression: drop
+        }
+        result = linear_search([2, 2], make_cost_fn(table))
+        assert result.best_state == (1, 0)
+        assert result.states_evaluated == 3
+
+    def test_misses_interacting_optimum(self):
+        # (0,1) is best, but linear fixes object 1 first and never sees it
+        table = {
+            (0, 0): 10.0,
+            (1, 0): 9.0,
+            (1, 1): 8.0,
+            (0, 1): 1.0,
+        }
+        result = linear_search([2, 2], make_cost_fn(table))
+        assert result.best_state == (1, 1)
+
+
+class TestIterative:
+    def test_finds_optimum_in_small_space(self):
+        table = {
+            (a, b, c): 10.0 - (2 * a + b - c)
+            for a in range(2) for b in range(2) for c in range(2)
+        }
+        result = iterative_search([2, 2, 2], make_cost_fn(table), seed=5)
+        assert result.best_state == (1, 1, 0)
+
+    def test_respects_max_states(self):
+        table = {
+            tuple(s): float(sum(s))
+            for s in [(a, b, c, d, e)
+                      for a in range(2) for b in range(2) for c in range(2)
+                      for d in range(2) for e in range(2)]
+        }
+        result = iterative_search(
+            [2] * 5, make_cost_fn(table), max_states=6, seed=1
+        )
+        assert result.states_evaluated <= 6
+
+    def test_deterministic_per_seed(self):
+        table = {
+            (a, b): float(a * 3 + b) for a in range(2) for b in range(2)
+        }
+        r1 = iterative_search([2, 2], make_cost_fn(table), seed=9)
+        r2 = iterative_search([2, 2], make_cost_fn(table), seed=9)
+        assert r1.best_state == r2.best_state
+        assert r1.states_evaluated == r2.states_evaluated
+
+    def test_handles_infinite_costs(self):
+        table = {
+            (0,): 5.0, (1,): math.inf,
+        }
+        result = iterative_search([2], make_cost_fn(table), seed=0)
+        assert result.best_state == (0,)
+
+
+class TestMemoisation:
+    def test_duplicate_states_not_recosted(self):
+        table = {(0,): 3.0, (1,): 1.0}
+        fn = make_cost_fn(table)
+        iterative_search([2], fn, max_states=10, restarts=8, seed=2)
+        assert len(fn.calls) <= 2
+
+
+class TestChooseStrategy:
+    def test_small_goes_exhaustive(self):
+        assert choose_strategy(2, 2) == "exhaustive"
+        assert choose_strategy(4, 4) == "exhaustive"
+
+    def test_medium_goes_iterative(self):
+        assert choose_strategy(6, 6) == "iterative"
+
+    def test_large_goes_linear(self):
+        assert choose_strategy(12, 12) == "linear"
+
+    def test_huge_total_forces_two_pass(self):
+        assert choose_strategy(2, 40) == "two_pass"
+        assert choose_strategy(12, 40) == "two_pass"

@@ -1,0 +1,128 @@
+"""Selectivity estimator unit tests."""
+
+import pytest
+
+from repro.catalog.statistics import (
+    ColumnStats,
+    Histogram,
+    TableStats,
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+)
+from repro.optimizer.selectivity import conjunct_selectivity, conjuncts_selectivity
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+from repro.qtree import exprutil
+
+
+class Stats:
+    """StatsContext over one table 't' with a uniform int column 'x'
+    (values 0..99, NDV 100, 1000 rows) and a nullable column 'n'."""
+
+    def __init__(self):
+        values = [i % 100 for i in range(1000)]
+        self._columns = {
+            "x": ColumnStats(
+                num_distinct=100, num_nulls=0, min_value=0, max_value=99,
+                histogram=Histogram(values, buckets=10),
+            ),
+            "n": ColumnStats(num_distinct=10, num_nulls=500,
+                             min_value=0, max_value=9),
+        }
+
+    def column_stats(self, alias, column):
+        if alias == "t":
+            return self._columns.get(column)
+        return None
+
+    def table_stats(self, alias):
+        return TableStats(row_count=1000) if alias == "t" else None
+
+
+def sel(text):
+    expr = parse_expression(text)
+
+    def qualify(node):
+        if isinstance(node, ast.ColumnRef) and node.qualifier is None:
+            return ast.ColumnRef("t", node.name)
+        return None
+
+    return conjunct_selectivity(exprutil.map_expr(expr, qualify), Stats())
+
+
+class TestComparisons:
+    def test_equality_uses_histogram(self):
+        assert sel("x = 5") == pytest.approx(0.01, rel=0.5)
+
+    def test_equality_out_of_range_is_tiny(self):
+        assert sel("x = 5000") <= 1e-5
+
+    def test_range_half(self):
+        assert sel("x < 50") == pytest.approx(0.5, abs=0.15)
+
+    def test_range_with_reversed_operands(self):
+        assert sel("50 > x") == pytest.approx(sel("x < 50"), abs=0.01)
+
+    def test_open_range_tail(self):
+        assert sel("x > 89") == pytest.approx(0.1, abs=0.08)
+
+    def test_inequality_complement(self):
+        assert sel("x <> 5") == pytest.approx(1.0 - sel("x = 5"), abs=0.01)
+
+    def test_unknown_column_defaults(self):
+        assert sel("zzz = 3") == pytest.approx(DEFAULT_EQ_SELECTIVITY)
+        assert sel("zzz < 3") == pytest.approx(DEFAULT_RANGE_SELECTIVITY)
+
+    def test_join_predicate_uses_max_ndv(self):
+        expr = ast.BinOp("=", ast.ColumnRef("t", "x"), ast.ColumnRef("u", "y"))
+        assert conjunct_selectivity(expr, Stats()) == pytest.approx(1 / 100)
+
+
+class TestNullAwareness:
+    def test_is_null_uses_null_fraction(self):
+        assert sel("n IS NULL") == pytest.approx(0.5)
+        assert sel("n IS NOT NULL") == pytest.approx(0.5)
+
+    def test_equality_discounts_nulls(self):
+        # only half the rows are non-null, spread over 10 values
+        assert sel("n = 3") == pytest.approx(0.05, abs=0.02)
+
+
+class TestCompound:
+    def test_and_independence(self):
+        expr = parse_expression("x = 5 AND x = 7")
+        combined = conjuncts_selectivity(
+            [exprutil.map_expr(e, lambda n: ast.ColumnRef("t", n.name)
+                               if isinstance(n, ast.ColumnRef) else None)
+             for e in ast.conjuncts_of(expr)],
+            Stats(),
+        )
+        assert combined == pytest.approx(sel("x = 5") * sel("x = 7"), rel=0.01)
+
+    def test_or_inclusion_exclusion(self):
+        s = sel("x = 5 OR x = 7")
+        a, b = sel("x = 5"), sel("x = 7")
+        assert s == pytest.approx(a + b - a * b, rel=0.01)
+
+    def test_not_complements(self):
+        assert sel("NOT (x < 50)") == pytest.approx(1 - sel("x < 50"), abs=0.01)
+
+    def test_between(self):
+        assert sel("x BETWEEN 20 AND 39") == pytest.approx(0.2, abs=0.1)
+
+    def test_in_list_sums(self):
+        assert sel("x IN (1, 2, 3)") == pytest.approx(0.03, abs=0.02)
+
+    def test_not_in_list(self):
+        assert sel("x NOT IN (1, 2, 3)") == pytest.approx(0.97, abs=0.02)
+
+    def test_like_default(self):
+        assert 0.0 < sel("n LIKE 'a%'") < 0.2
+
+
+class TestBounds:
+    def test_never_zero_or_negative(self):
+        assert sel("x = 123456") > 0.0
+
+    def test_never_above_one(self):
+        assert sel("x >= 0 OR x < 1000") <= 1.0

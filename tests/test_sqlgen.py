@@ -1,0 +1,69 @@
+"""Query-tree SQL generation and structural signatures."""
+
+import pytest
+
+from repro.qtree import signature
+from repro.transform.base import apply_everywhere
+from repro.transform.heuristic import SubqueryMergeUnnesting
+
+
+class TestDisplayNotation:
+    def test_semijoin_uses_paper_notation(self, tiny_db):
+        tree = tiny_db.parse(
+            "SELECT d.dept_id FROM departments d WHERE EXISTS "
+            "(SELECT 1 FROM employees e WHERE e.dept_id = d.dept_id)"
+        )
+        tree = apply_everywhere(SubqueryMergeUnnesting(tiny_db.catalog), tree)
+        text = tree.to_sql()
+        # the paper's non-standard semijoin marker: T1.c S= T2.c
+        assert "S=" in text
+
+    def test_antijoin_marker(self, tiny_db):
+        tree = tiny_db.parse(
+            "SELECT d.dept_id FROM departments d WHERE NOT EXISTS "
+            "(SELECT 1 FROM employees e WHERE e.dept_id = d.dept_id)"
+        )
+        tree = apply_everywhere(SubqueryMergeUnnesting(tiny_db.catalog), tree)
+        assert "A=" in tree.to_sql()
+
+    def test_left_join_marker(self, tiny_db):
+        tree = tiny_db.parse(
+            "SELECT e.emp_id FROM employees e LEFT OUTER JOIN departments d "
+            "ON e.dept_id = d.dept_id"
+        )
+        assert "(+d)" in tree.to_sql()
+
+    def test_rownum_rendered(self, tiny_db):
+        tree = tiny_db.parse("SELECT emp_id FROM employees WHERE rownum <= 4")
+        assert "ROWNUM <= 4" in tree.to_sql()
+
+    def test_grouping_sets_rendered(self, tiny_db):
+        tree = tiny_db.parse(
+            "SELECT dept_id, COUNT(*) FROM employees GROUP BY ROLLUP (dept_id)"
+        )
+        assert "GROUPING SETS" in tree.to_sql()
+
+
+class TestSignatureProperties:
+    def test_transformation_changes_signature(self, tiny_db):
+        sql = (
+            "SELECT d.dept_id FROM departments d WHERE EXISTS "
+            "(SELECT 1 FROM employees e WHERE e.dept_id = d.dept_id)"
+        )
+        before = tiny_db.parse(sql)
+        after = apply_everywhere(
+            SubqueryMergeUnnesting(tiny_db.catalog), before.clone()
+        )
+        assert signature(before) != signature(after)
+
+    def test_alias_matters(self, tiny_db):
+        a = tiny_db.parse("SELECT e.emp_id FROM employees e")
+        b = tiny_db.parse("SELECT f.emp_id FROM employees f")
+        assert signature(a) != signature(b)
+
+    def test_signature_deterministic(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id FROM employees e, departments d "
+            "WHERE e.dept_id = d.dept_id AND d.loc_id IN (1, 2)"
+        )
+        assert signature(tiny_db.parse(sql)) == signature(tiny_db.parse(sql))

@@ -1,0 +1,129 @@
+"""Star transformation tests (§3.1's sequence entry)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro import Database, OptimizerConfig
+from repro.transform.costbased import StarTransformation
+
+
+@pytest.fixture(scope="module")
+def star_db():
+    db = Database()
+    db.execute_ddl(
+        "CREATE TABLE dim_time (t_id INT PRIMARY KEY, year INT, month INT)"
+    )
+    db.execute_ddl(
+        "CREATE TABLE dim_prod (p_id INT PRIMARY KEY, category INT)"
+    )
+    db.execute_ddl(
+        "CREATE TABLE fact_sales (s_id INT PRIMARY KEY, "
+        "t_id INT REFERENCES dim_time(t_id), "
+        "p_id INT REFERENCES dim_prod(p_id), amount INT)"
+    )
+    db.execute_ddl("CREATE INDEX f_t ON fact_sales (t_id)")
+    db.execute_ddl("CREATE INDEX f_p ON fact_sales (p_id)")
+    rng = random.Random(2)
+    db.insert("dim_time", [
+        {"t_id": i, "year": 2000 + i % 7, "month": i % 12 + 1}
+        for i in range(1, 85)
+    ])
+    db.insert("dim_prod", [
+        {"p_id": i, "category": i % 20} for i in range(1, 201)
+    ])
+    db.insert("fact_sales", [
+        {"s_id": i, "t_id": rng.randint(1, 84), "p_id": rng.randint(1, 200),
+         "amount": rng.randint(1, 500)}
+        for i in range(1, 4001)
+    ])
+    db.analyze()
+    return db
+
+
+STAR_SQL = (
+    "SELECT f.s_id, f.amount FROM fact_sales f, dim_time t, dim_prod p "
+    "WHERE f.t_id = t.t_id AND f.p_id = p.p_id "
+    "AND t.year = 2003 AND p.category = 7"
+)
+
+
+class TestRecognition:
+    def test_star_shape_found(self, star_db):
+        transformation = StarTransformation(star_db.catalog)
+        targets = transformation.find_targets(star_db.parse(STAR_SQL))
+        assert len(targets) == 1
+        assert targets[0].key == "f"
+
+    def test_requires_dimension_filters(self, star_db):
+        sql = (
+            "SELECT f.s_id FROM fact_sales f, dim_time t, dim_prod p "
+            "WHERE f.t_id = t.t_id AND f.p_id = p.p_id"
+        )
+        transformation = StarTransformation(star_db.catalog)
+        assert not transformation.find_targets(star_db.parse(sql))
+
+    def test_requires_two_dimensions(self, star_db):
+        sql = (
+            "SELECT f.s_id FROM fact_sales f, dim_time t "
+            "WHERE f.t_id = t.t_id AND t.year = 2003"
+        )
+        transformation = StarTransformation(star_db.catalog)
+        assert not transformation.find_targets(star_db.parse(sql))
+
+    def test_requires_declared_fk(self, star_db):
+        # join on a non-FK column pair: no star
+        sql = (
+            "SELECT f.s_id FROM fact_sales f, dim_time t, dim_prod p "
+            "WHERE f.amount = t.t_id AND f.p_id = p.p_id "
+            "AND t.year = 2003 AND p.category = 7"
+        )
+        transformation = StarTransformation(star_db.catalog)
+        targets = transformation.find_targets(star_db.parse(sql))
+        assert not targets  # only one FK-joined filtered dimension remains
+
+
+class TestRewrite:
+    def test_adds_key_filter_subqueries(self, star_db):
+        transformation = StarTransformation(star_db.catalog)
+        tree = star_db.parse(STAR_SQL)
+        tree = transformation.apply(tree, transformation.find_targets(tree)[0])
+        subqueries = tree.subquery_exprs()
+        assert len(subqueries) == 2
+        assert all(s.kind == "IN" for s in subqueries)
+        # joins are retained
+        assert len(tree.from_items) == 3
+
+    def test_not_reapplied(self, star_db):
+        transformation = StarTransformation(star_db.catalog)
+        tree = star_db.parse(STAR_SQL)
+        tree = transformation.apply(tree, transformation.find_targets(tree)[0])
+        assert not transformation.find_targets(tree)
+
+    def test_semantics_preserved(self, star_db):
+        expected = Counter(star_db.reference_execute(STAR_SQL))
+        transformation = StarTransformation(star_db.catalog)
+        tree = star_db.parse(STAR_SQL)
+        tree = transformation.apply(tree, transformation.find_targets(tree)[0])
+        from repro.engine.reference import ReferenceEvaluator
+
+        evaluator = ReferenceEvaluator(star_db.storage, star_db.functions)
+        assert Counter(evaluator.evaluate(tree)) == expected
+
+
+class TestCostBasedDecision:
+    def test_decision_recorded(self, star_db):
+        optimized = star_db.optimize(STAR_SQL)
+        decision = optimized.report.decision_for("star_transformation")
+        assert decision is not None
+        assert decision.states_evaluated == 2
+
+    def test_execution_matches_all_configs(self, star_db):
+        expected = Counter(star_db.reference_execute(STAR_SQL))
+        for config in (
+            OptimizerConfig(),
+            OptimizerConfig().without("star_transformation"),
+            OptimizerConfig.heuristic_mode(),
+        ):
+            assert Counter(star_db.execute(STAR_SQL, config).rows) == expected

@@ -1,0 +1,106 @@
+"""Storage and index structure tests."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, DataType, Index, TableDef
+from repro.engine.tables import Storage
+from repro.errors import ExecutionError
+
+
+def make_storage():
+    catalog = Catalog()
+    table = catalog.add_table(TableDef(
+        "t",
+        [Column("id", DataType.INT, True), Column("a", DataType.INT),
+         Column("b", DataType.INT)],
+        primary_key=("id",),
+    ))
+    catalog.add_index(Index("t_ab", "t", ("a", "b")))
+    storage = Storage()
+    data = storage.create(table)
+    return catalog, storage, data
+
+
+class TestInsert:
+    def test_basic_insert_and_count(self):
+        _c, _s, data = make_storage()
+        data.insert([{"id": 1, "a": 10, "b": 1}, {"id": 2, "a": 20, "b": 2}])
+        assert data.row_count == 2
+
+    def test_missing_columns_become_null(self):
+        _c, _s, data = make_storage()
+        data.insert([{"id": 1}])
+        assert data.rows[0]["a"] is None
+
+    def test_not_null_violation(self):
+        _c, _s, data = make_storage()
+        with pytest.raises(ExecutionError):
+            data.insert([{"id": None, "a": 1}])
+
+    def test_unknown_column_rejected(self):
+        _c, _s, data = make_storage()
+        with pytest.raises(ExecutionError):
+            data.insert([{"id": 1, "zzz": 2}])
+
+    def test_unique_index_violation(self):
+        _c, _s, data = make_storage()
+        data.insert([{"id": 1, "a": 1, "b": 1}])
+        with pytest.raises(ExecutionError):
+            data.insert([{"id": 1, "a": 2, "b": 2}])
+
+
+class TestIndexScan:
+    def test_eq_probe_full_key(self):
+        _c, _s, data = make_storage()
+        data.insert([{"id": i, "a": i % 3, "b": i % 2} for i in range(1, 13)])
+        index = data.index_named("t_ab")
+        hits = list(index.scan((1, 0)))
+        assert all(data.rows[r]["a"] == 1 and data.rows[r]["b"] == 0 for r in hits)
+        assert len(hits) == 2  # ids 4 and 10
+
+    def test_prefix_probe(self):
+        _c, _s, data = make_storage()
+        data.insert([{"id": i, "a": i % 3, "b": i} for i in range(1, 10)])
+        index = data.index_named("t_ab")
+        hits = list(index.scan((2,)))
+        assert sorted(data.rows[r]["a"] for r in hits) == [2, 2, 2]
+
+    def test_prefix_plus_range(self):
+        _c, _s, data = make_storage()
+        data.insert([{"id": i, "a": 1, "b": i} for i in range(1, 8)])
+        index = data.index_named("t_ab")
+        hits = list(index.scan((1,), "<", 4))
+        assert sorted(data.rows[r]["b"] for r in hits) == [1, 2, 3]
+        hits = list(index.scan((1,), ">=", 6))
+        assert sorted(data.rows[r]["b"] for r in hits) == [6, 7]
+
+    def test_null_keys_not_indexed(self):
+        _c, _s, data = make_storage()
+        data.insert([{"id": 1, "a": None, "b": 1}, {"id": 2, "a": 5, "b": 1}])
+        index = data.index_named("t_ab")
+        assert list(index.scan((5, 1))) == [1]
+        assert list(index.scan((None, 1))) == []
+
+    def test_attach_index_backfills(self):
+        catalog, storage, data = make_storage()
+        data.insert([{"id": i, "a": i, "b": 0} for i in range(1, 6)])
+        catalog.add_index(Index("t_b", "t", ("b",)))
+        data.attach_index(catalog.indexes["t_b"])
+        assert len(list(data.index_named("t_b").scan((0,)))) == 5
+
+    def test_pk_index_created_automatically(self):
+        _c, _s, data = make_storage()
+        data.insert([{"id": 7, "a": 0, "b": 0}])
+        assert list(data.index_named("t_pk").scan((7,))) == [0]
+
+
+class TestStorage:
+    def test_get_missing_raises(self):
+        _c, storage, _d = make_storage()
+        with pytest.raises(ExecutionError):
+            storage.get("missing")
+
+    def test_has(self):
+        _c, storage, _d = make_storage()
+        assert storage.has("t")
+        assert not storage.has("u")

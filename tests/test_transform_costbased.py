@@ -1,0 +1,514 @@
+"""Cost-based transformation tests: unnest-to-view, group-by view
+merging, JPPD, group-by placement, join factorization, predicate pullup,
+set-op conversion, OR expansion."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import TransformError
+from repro.qtree.blocks import QueryBlock, SetOpBlock
+from repro.transform.costbased import (
+    GroupByPlacement,
+    GroupByViewMerging,
+    JoinFactorization,
+    JoinPredicatePushdown,
+    OrExpansion,
+    PredicatePullup,
+    SetOpIntoJoin,
+    UnnestSubqueryToView,
+)
+
+
+def apply_all(db, sql, transformation_cls, expect_targets=True):
+    tree = db.parse(sql)
+    transformation = transformation_cls(db.catalog)
+    targets = transformation.find_targets(tree)
+    if expect_targets:
+        assert targets, f"{transformation.name} found no targets"
+    while targets:
+        tree = transformation.apply(tree, targets[0])
+        targets = transformation.find_targets(tree)
+    return tree
+
+
+def assert_equivalent(db, sql, tree):
+    from repro.engine.reference import ReferenceEvaluator
+
+    expected = Counter(db.reference_execute(sql))
+    evaluator = ReferenceEvaluator(db.storage, db.functions)
+    assert Counter(evaluator.evaluate(tree)) == expected
+
+
+class TestUnnestToView:
+    AGG_SQL = (
+        "SELECT e.emp_id FROM employees e WHERE e.salary > "
+        "(SELECT AVG(e2.salary) FROM employees e2 "
+        "WHERE e2.dept_id = e.dept_id)"
+    )
+
+    def test_aggregate_subquery_becomes_groupby_view(self, tiny_db):
+        tree = apply_all(tiny_db, self.AGG_SQL, UnnestSubqueryToView)
+        views = [i for i in tree.from_items if i.is_derived]
+        assert len(views) == 1
+        view = views[0].subquery
+        assert view.group_by
+        assert view.has_aggregates
+        assert not tree.subquery_exprs()
+        assert_equivalent(tiny_db, self.AGG_SQL, tree)
+
+    def test_count_subquery_not_unnested(self, tiny_db):
+        # the count bug: COUNT over an empty group must stay TIS
+        sql = (
+            "SELECT e.emp_id FROM employees e WHERE 2 > "
+            "(SELECT COUNT(j.emp_id) FROM job_history j "
+            "WHERE j.emp_id = e.emp_id)"
+        )
+        transformation = UnnestSubqueryToView(tiny_db.catalog)
+        assert not transformation.find_targets(tiny_db.parse(sql))
+
+    def test_uncorrelated_scalar_not_unnested(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id FROM employees e WHERE e.salary > "
+            "(SELECT AVG(e2.salary) FROM employees e2)"
+        )
+        transformation = UnnestSubqueryToView(tiny_db.catalog)
+        assert not transformation.find_targets(tiny_db.parse(sql))
+
+    def test_multi_table_in_becomes_semijoined_view(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id FROM employees e WHERE e.dept_id IN "
+            "(SELECT d.dept_id FROM departments d, locations l "
+            "WHERE d.loc_id = l.loc_id AND l.country_id = 1)"
+        )
+        tree = apply_all(tiny_db, sql, UnnestSubqueryToView)
+        semi_views = [
+            i for i in tree.from_items
+            if i.is_derived and i.join_type == "SEMI"
+        ]
+        assert len(semi_views) == 1
+        assert_equivalent(tiny_db, sql, tree)
+
+    def test_not_in_nullable_becomes_null_aware_antijoin(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id FROM employees e WHERE e.dept_id NOT IN "
+            "(SELECT j.dept_id FROM job_history j WHERE j.job_title > 3)"
+        )
+        tree = apply_all(tiny_db, sql, UnnestSubqueryToView)
+        items = [i for i in tree.from_items if i.join_type == "ANTI_NA"]
+        assert len(items) == 1
+        # the local predicate stays inside the view, not in the join
+        view = items[0].subquery
+        assert view.where_conjuncts
+        assert_equivalent(tiny_db, sql, tree)
+
+    def test_correlated_not_in_keeps_correlation_in_view(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id FROM employees e WHERE e.mgr_id NOT IN "
+            "(SELECT j.job_title FROM job_history j WHERE j.emp_id = e.emp_id)"
+        )
+        tree = apply_all(tiny_db, sql, UnnestSubqueryToView)
+        item = next(i for i in tree.from_items if i.join_type == "ANTI_NA")
+        assert item.subquery.is_correlated
+        assert_equivalent(tiny_db, sql, tree)
+
+
+class TestGroupByViewMerging:
+    SQL = (
+        "SELECT e.emp_id, v.avg_sal FROM employees e, "
+        "(SELECT e2.dept_id AS d, AVG(e2.salary) AS avg_sal "
+        "FROM employees e2 GROUP BY e2.dept_id) v "
+        "WHERE e.dept_id = v.d AND e.salary > 40"
+    )
+
+    def test_merge_produces_grouped_outer(self, tiny_db):
+        tree = apply_all(tiny_db, self.SQL, GroupByViewMerging)
+        assert all(i.is_base_table for i in tree.from_items)
+        assert tree.group_by
+        # rowid of the preserved outer table appears in the grouping
+        assert any(
+            getattr(g, "name", None) == "rowid" for g in tree.group_by
+        )
+        assert_equivalent(tiny_db, self.SQL, tree)
+
+    def test_filter_on_aggregate_moves_to_having(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id FROM employees e, "
+            "(SELECT e2.dept_id AS d, AVG(e2.salary) AS avg_sal "
+            "FROM employees e2 GROUP BY e2.dept_id) v "
+            "WHERE e.dept_id = v.d AND e.salary > v.avg_sal"
+        )
+        tree = apply_all(tiny_db, sql, GroupByViewMerging)
+        assert tree.having_conjuncts
+        assert_equivalent(tiny_db, sql, tree)
+
+    def test_distinct_view_merges(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id FROM employees e, "
+            "(SELECT DISTINCT j.dept_id AS k FROM job_history j) v "
+            "WHERE e.dept_id = v.k"
+        )
+        tree = apply_all(tiny_db, sql, GroupByViewMerging)
+        assert tree.group_by
+        assert_equivalent(tiny_db, sql, tree)
+
+    def test_grouped_outer_not_merged(self, tiny_db):
+        sql = (
+            "SELECT COUNT(*) FROM employees e, "
+            "(SELECT e2.dept_id AS d, AVG(e2.salary) AS a "
+            "FROM employees e2 GROUP BY e2.dept_id) v "
+            "WHERE e.dept_id = v.d"
+        )
+        transformation = GroupByViewMerging(tiny_db.catalog)
+        assert not transformation.find_targets(tiny_db.parse(sql))
+
+    def test_outer_joined_view_not_merged(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id FROM employees e LEFT OUTER JOIN "
+            "(SELECT e2.dept_id AS d, AVG(e2.salary) AS a "
+            "FROM employees e2 GROUP BY e2.dept_id) v ON e.dept_id = v.d"
+        )
+        transformation = GroupByViewMerging(tiny_db.catalog)
+        assert not transformation.find_targets(tiny_db.parse(sql))
+
+
+class TestJppd:
+    SQL = (
+        "SELECT e.emp_id FROM employees e, "
+        "(SELECT DISTINCT j.dept_id AS k FROM job_history j "
+        "WHERE j.job_title > 2) v "
+        "WHERE e.dept_id = v.k AND e.salary > 50"
+    )
+
+    def test_pushdown_makes_view_lateral_semijoin(self, tiny_db):
+        tree = apply_all(tiny_db, self.SQL, JoinPredicatePushdown)
+        item = next(i for i in tree.from_items if i.is_derived)
+        # distinct removed, inner join became semijoin (outputs unused)
+        assert item.join_type == "SEMI"
+        assert not item.subquery.distinct
+        assert item.subquery.is_correlated
+        assert_equivalent(tiny_db, self.SQL, tree)
+
+    def test_groupby_view_keeps_aggregation(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id, v.a FROM employees e, "
+            "(SELECT e2.dept_id AS d, AVG(e2.salary) AS a "
+            "FROM employees e2 GROUP BY e2.dept_id) v "
+            "WHERE e.dept_id = v.d"
+        )
+        tree = apply_all(tiny_db, sql, JoinPredicatePushdown)
+        item = next(i for i in tree.from_items if i.is_derived)
+        assert item.subquery.group_by  # kept: aggregate output referenced
+        assert_equivalent(tiny_db, sql, tree)
+
+    def test_union_all_view_pushdown(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id, v.k FROM employees e, "
+            "(SELECT d.dept_id AS k FROM departments d UNION ALL "
+            "SELECT j.dept_id AS k FROM job_history j) v "
+            "WHERE e.dept_id = v.k AND e.salary > 70"
+        )
+        tree = apply_all(tiny_db, sql, JoinPredicatePushdown)
+        item = next(i for i in tree.from_items if i.is_derived)
+        assert isinstance(item.subquery, SetOpBlock)
+        assert all(b.where_conjuncts for b in item.subquery.branches)
+        assert_equivalent(tiny_db, sql, tree)
+
+    def test_pushdown_on_aggregate_output_refused(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id FROM employees e, "
+            "(SELECT AVG(e2.salary) AS a FROM employees e2 "
+            "GROUP BY e2.dept_id) v WHERE e.salary = v.a"
+        )
+        transformation = JoinPredicatePushdown(tiny_db.catalog)
+        assert not transformation.find_targets(tiny_db.parse(sql))
+
+
+class TestGroupByPlacement:
+    SQL = (
+        "SELECT d.loc_id, SUM(e.salary), COUNT(e.salary) "
+        "FROM departments d, employees e "
+        "WHERE e.dept_id = d.dept_id GROUP BY d.loc_id"
+    )
+
+    def test_eager_aggregation_creates_view(self, tiny_db):
+        tree = apply_all(tiny_db, self.SQL, GroupByPlacement)
+        views = [i for i in tree.from_items if i.is_derived]
+        assert len(views) == 1
+        inner = views[0].subquery
+        assert inner.group_by
+        assert_equivalent(tiny_db, self.SQL, tree)
+
+    def test_avg_decomposes_into_sum_count(self, tiny_db):
+        sql = (
+            "SELECT d.loc_id, AVG(e.salary) FROM departments d, employees e "
+            "WHERE e.dept_id = d.dept_id GROUP BY d.loc_id"
+        )
+        tree = apply_all(tiny_db, sql, GroupByPlacement)
+        assert_equivalent(tiny_db, sql, tree)
+
+    def test_count_star_composes(self, tiny_db):
+        sql = (
+            "SELECT d.loc_id, COUNT(*) FROM departments d, employees e "
+            "WHERE e.dept_id = d.dept_id GROUP BY d.loc_id"
+        )
+        tree = apply_all(tiny_db, sql, GroupByPlacement)
+        assert_equivalent(tiny_db, sql, tree)
+
+    def test_distinct_aggregate_refused(self, tiny_db):
+        sql = (
+            "SELECT d.loc_id, COUNT(DISTINCT e.salary) FROM departments d, "
+            "employees e WHERE e.dept_id = d.dept_id GROUP BY d.loc_id"
+        )
+        transformation = GroupByPlacement(tiny_db.catalog)
+        assert not transformation.find_targets(tiny_db.parse(sql))
+
+    def test_aggregates_from_two_tables_refused(self, tiny_db):
+        sql = (
+            "SELECT d.loc_id, SUM(e.salary), SUM(d.department_name) "
+            "FROM departments d, employees e "
+            "WHERE e.dept_id = d.dept_id GROUP BY d.loc_id"
+        )
+        transformation = GroupByPlacement(tiny_db.catalog)
+        assert not transformation.find_targets(tiny_db.parse(sql))
+
+
+class TestJoinFactorization:
+    SQL = (
+        "SELECT d.dept_id, e.salary FROM departments d, employees e "
+        "WHERE e.dept_id = d.dept_id AND e.salary > 70 "
+        "UNION ALL "
+        "SELECT d.dept_id, j.job_title FROM departments d, job_history j "
+        "WHERE j.dept_id = d.dept_id AND j.start_date > 90"
+    )
+
+    def test_common_table_pulled_out(self, tiny_db):
+        tree = apply_all(tiny_db, self.SQL, JoinFactorization)
+        assert isinstance(tree, QueryBlock)
+        base = [i for i in tree.from_items if i.is_base_table]
+        assert base and base[0].table_name == "departments"
+        view = next(i for i in tree.from_items if i.is_derived)
+        assert isinstance(view.subquery, SetOpBlock)
+        # departments no longer inside the branches
+        for branch in view.subquery.branches:
+            assert all(
+                i.table_name != "departments" for i in branch.from_items
+            )
+        assert_equivalent(tiny_db, self.SQL, tree)
+
+    def test_no_common_table_no_target(self, tiny_db):
+        sql = (
+            "SELECT dept_id FROM departments UNION ALL "
+            "SELECT dept_id FROM job_history"
+        )
+        transformation = JoinFactorization(tiny_db.catalog)
+        assert not transformation.find_targets(tiny_db.parse(sql))
+
+    def test_different_local_predicates_block_factoring(self, tiny_db):
+        sql = (
+            "SELECT d.dept_id FROM departments d, employees e "
+            "WHERE e.dept_id = d.dept_id AND d.loc_id = 1 "
+            "UNION ALL "
+            "SELECT d.dept_id FROM departments d, job_history j "
+            "WHERE j.dept_id = d.dept_id AND d.loc_id = 2"
+        )
+        tree = tiny_db.parse(sql)
+        transformation = JoinFactorization(tiny_db.catalog)
+        targets = transformation.find_targets(tree)
+        # departments has different local predicates -> not factorable
+        assert not targets
+
+
+class TestPredicatePullup:
+    @pytest.fixture()
+    def db(self, tiny_db):
+        tiny_db.register_function(
+            "SLOWFN", lambda x: None if x is None else x % 3,
+            expensive_cost=400.0,
+        )
+        return tiny_db
+
+    SQL = (
+        "SELECT v.emp_id, v.salary FROM "
+        "(SELECT e.emp_id, e.salary FROM employees e "
+        "WHERE SLOWFN(e.salary) = 1 ORDER BY e.salary DESC) v "
+        "WHERE rownum <= 5"
+    )
+
+    def test_predicate_moves_to_outer_block(self, db):
+        tree = apply_all(db, self.SQL, PredicatePullup)
+        view = tree.from_items[0].subquery
+        assert not view.where_conjuncts
+        assert len(tree.where_conjuncts) == 1
+        assert_equivalent(db, self.SQL, tree)
+
+    def test_no_rownum_no_target(self, db):
+        sql = (
+            "SELECT v.emp_id FROM (SELECT e.emp_id, e.salary FROM employees e "
+            "WHERE SLOWFN(e.salary) = 1 ORDER BY e.salary) v"
+        )
+        transformation = PredicatePullup(db.catalog)
+        assert not transformation.find_targets(db.parse(sql))
+
+    def test_no_blocking_operator_no_target(self, db):
+        sql = (
+            "SELECT v.emp_id FROM (SELECT e.emp_id, e.salary FROM employees e "
+            "WHERE SLOWFN(e.salary) = 1) v WHERE rownum <= 5"
+        )
+        transformation = PredicatePullup(db.catalog)
+        assert not transformation.find_targets(db.parse(sql))
+
+    def test_cheap_predicate_not_pulled(self, db):
+        sql = (
+            "SELECT v.emp_id FROM (SELECT e.emp_id, e.salary FROM employees e "
+            "WHERE e.salary > 10 ORDER BY e.salary) v WHERE rownum <= 5"
+        )
+        transformation = PredicatePullup(db.catalog)
+        assert not transformation.find_targets(db.parse(sql))
+
+    def test_two_predicates_two_targets(self, db):
+        sql = (
+            "SELECT v.emp_id FROM (SELECT e.emp_id FROM employees e "
+            "WHERE SLOWFN(e.salary) = 1 AND SLOWFN(e.emp_id) = 0 "
+            "ORDER BY e.emp_id) v WHERE rownum <= 5"
+        )
+        transformation = PredicatePullup(db.catalog)
+        assert len(transformation.find_targets(db.parse(sql))) == 2
+
+
+class TestSetOpIntoJoin:
+    def test_minus_becomes_antijoin(self, tiny_db):
+        sql = (
+            "SELECT dept_id FROM employees MINUS "
+            "SELECT dept_id FROM departments WHERE loc_id = 1"
+        )
+        tree = apply_all(tiny_db, sql, SetOpIntoJoin)
+        assert isinstance(tree, QueryBlock)
+        assert tree.distinct
+        assert any(i.join_type == "ANTI" for i in tree.from_items)
+        assert_equivalent(tiny_db, sql, tree)
+
+    def test_intersect_becomes_semijoin(self, tiny_db):
+        sql = (
+            "SELECT dept_id FROM departments INTERSECT "
+            "SELECT dept_id FROM employees WHERE salary > 40"
+        )
+        tree = apply_all(tiny_db, sql, SetOpIntoJoin)
+        assert any(i.join_type == "SEMI" for i in tree.from_items)
+        assert_equivalent(tiny_db, sql, tree)
+
+    def test_nulls_match_in_setop_conversion(self, tiny_db):
+        # employees.dept_id contains NULLs; MINUS must treat NULL = NULL
+        sql = (
+            "SELECT dept_id FROM employees MINUS "
+            "SELECT mgr_id FROM employees WHERE mgr_id IS NULL"
+        )
+        tree = apply_all(tiny_db, sql, SetOpIntoJoin)
+        assert_equivalent(tiny_db, sql, tree)
+
+    def test_nested_setop_as_subquery_source(self, tiny_db):
+        sql = (
+            "SELECT v.dept_id FROM (SELECT dept_id FROM employees MINUS "
+            "SELECT dept_id FROM departments) v"
+        )
+        tree = apply_all(tiny_db, sql, SetOpIntoJoin)
+        assert isinstance(tree.from_items[0].subquery, QueryBlock)
+        assert_equivalent(tiny_db, sql, tree)
+
+
+class TestOrExpansion:
+    SQL = (
+        "SELECT e.emp_id FROM employees e, departments d "
+        "WHERE e.dept_id = d.dept_id AND (d.loc_id = 1 OR e.salary > 80)"
+    )
+
+    def test_expansion_produces_disjoint_union_all(self, tiny_db):
+        tree = apply_all(tiny_db, self.SQL, OrExpansion)
+        assert isinstance(tree, SetOpBlock)
+        assert tree.op == "UNION ALL"
+        assert len(tree.branches) == 2
+        # second branch carries the LNNVL guard
+        second = tree.branches[1].to_sql()
+        assert "LNNVL" in second
+        assert_equivalent(tiny_db, self.SQL, tree)
+
+    def test_three_way_disjunction(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id FROM employees e WHERE "
+            "e.salary > 85 OR e.dept_id = 1 OR e.mgr_id = 2"
+        )
+        tree = apply_all(tiny_db, sql, OrExpansion)
+        assert len(tree.branches) == 3
+        assert_equivalent(tiny_db, sql, tree)
+
+    def test_grouped_block_not_expanded(self, tiny_db):
+        sql = (
+            "SELECT dept_id, COUNT(*) FROM employees "
+            "WHERE salary > 80 OR mgr_id = 2 GROUP BY dept_id"
+        )
+        transformation = OrExpansion(tiny_db.catalog)
+        assert not transformation.find_targets(tiny_db.parse(sql))
+
+    def test_subquery_disjunct_not_expanded(self, tiny_db):
+        sql = (
+            "SELECT e.emp_id FROM employees e WHERE e.salary > 80 OR EXISTS "
+            "(SELECT 1 FROM job_history j WHERE j.emp_id = e.emp_id)"
+        )
+        transformation = OrExpansion(tiny_db.catalog)
+        assert not transformation.find_targets(tiny_db.parse(sql))
+
+    def test_null_handling_no_duplicates(self, tiny_db):
+        # rows satisfying both disjuncts must appear exactly once
+        sql = (
+            "SELECT e.emp_id FROM employees e "
+            "WHERE e.salary > 10 OR e.salary > 20"
+        )
+        tree = apply_all(tiny_db, sql, OrExpansion)
+        assert_equivalent(tiny_db, sql, tree)
+
+
+class TestJoinFactorizationLateral:
+    """§2.2.5's refinement: when branch join predicates differ, they stay
+    inside the UNION ALL view, which becomes laterally correlated."""
+
+    SQL = (
+        "SELECT d.department_name, e.salary FROM departments d, employees e "
+        "WHERE e.dept_id = d.dept_id AND d.loc_id = 2 AND e.salary > 50 "
+        "UNION ALL "
+        "SELECT d.department_name, j.start_date FROM departments d, "
+        "job_history j WHERE j.dept_id < d.dept_id AND d.loc_id = 2 "
+        "AND j.start_date > 90"
+    )
+
+    def test_mode_detected_as_lateral(self, tiny_db):
+        from repro.transform.costbased.join_factorization import _factorable
+
+        tree = tiny_db.parse(self.SQL)
+        assert _factorable(tree, "d") == "lateral"
+
+    def test_view_is_correlated(self, tiny_db):
+        tree = apply_all(tiny_db, self.SQL, JoinFactorization)
+        view_item = next(i for i in tree.from_items if i.is_derived)
+        assert view_item.subquery.is_correlated
+        # the shared local predicate moved to the outer block
+        assert tree.where_conjuncts
+        assert_equivalent(tiny_db, self.SQL, tree)
+
+    def test_execution_matches(self, tiny_db):
+        from collections import Counter as C
+
+        expected = C(tiny_db.reference_execute(self.SQL))
+        assert C(tiny_db.execute(self.SQL).rows) == expected
+
+    def test_mixed_branch_with_subquery_on_common_table_refused(self, tiny_db):
+        sql = (
+            "SELECT d.department_name FROM departments d, employees e "
+            "WHERE e.dept_id = d.dept_id "
+            "UNION ALL "
+            "SELECT d.department_name FROM departments d WHERE EXISTS "
+            "(SELECT 1 FROM job_history j WHERE j.dept_id = d.dept_id)"
+        )
+        from repro.transform.costbased.join_factorization import _factorable
+
+        tree = tiny_db.parse(sql)
+        assert _factorable(tree, "d") is None

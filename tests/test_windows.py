@@ -1,0 +1,126 @@
+"""Window function semantics (shared compute path: reference + executor)."""
+
+from collections import Counter
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.execute_ddl(
+        "CREATE TABLE accounts (acct_id INT, time INT, balance INT)"
+    )
+    database.insert("accounts", [
+        {"acct_id": 1, "time": 1, "balance": 100},
+        {"acct_id": 1, "time": 2, "balance": 200},
+        {"acct_id": 1, "time": 2, "balance": 300},   # peer of time=2
+        {"acct_id": 1, "time": 3, "balance": None},  # NULL ignored by AVG
+        {"acct_id": 2, "time": 1, "balance": 50},
+        {"acct_id": 2, "time": 2, "balance": 150},
+    ])
+    database.analyze()
+    return database
+
+
+def by_key(rows):
+    return {(r[0], r[1], r[2] if len(r) > 3 else None): r[-1] for r in rows}
+
+
+class TestRunningAggregates:
+    def test_rows_frame_running_sum(self, db):
+        rows = db.execute(
+            "SELECT acct_id, time, balance, SUM(balance) OVER "
+            "(PARTITION BY acct_id ORDER BY time "
+            "ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) FROM accounts"
+        ).rows
+        acct2 = sorted(r for r in rows if r[0] == 2)
+        assert [r[3] for r in acct2] == [50, 200]
+
+    def test_range_frame_includes_peers(self, db):
+        rows = db.execute(
+            "SELECT acct_id, time, balance, SUM(balance) OVER "
+            "(PARTITION BY acct_id ORDER BY time "
+            "RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) FROM accounts"
+        ).rows
+        # both time=2 rows of acct 1 see the same running sum (peers)
+        time2 = [r[3] for r in rows if r[0] == 1 and r[1] == 2]
+        assert time2 == [600, 600]
+
+    def test_default_frame_is_range(self, db):
+        with_frame = db.execute(
+            "SELECT acct_id, SUM(balance) OVER (PARTITION BY acct_id "
+            "ORDER BY time RANGE BETWEEN UNBOUNDED PRECEDING AND "
+            "CURRENT ROW) FROM accounts"
+        ).rows
+        without_frame = db.execute(
+            "SELECT acct_id, SUM(balance) OVER (PARTITION BY acct_id "
+            "ORDER BY time) FROM accounts"
+        ).rows
+        assert Counter(with_frame) == Counter(without_frame)
+
+    def test_whole_partition_without_order(self, db):
+        rows = db.execute(
+            "SELECT acct_id, AVG(balance) OVER (PARTITION BY acct_id) "
+            "FROM accounts"
+        ).rows
+        acct1 = {r[1] for r in rows if r[0] == 1}
+        assert acct1 == {200.0}  # AVG ignores the NULL balance
+
+    def test_null_arguments_ignored(self, db):
+        rows = db.execute(
+            "SELECT acct_id, time, COUNT(balance) OVER "
+            "(PARTITION BY acct_id ORDER BY time "
+            "ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) FROM accounts"
+        ).rows
+        acct1_final = max(
+            (r for r in rows if r[0] == 1), key=lambda r: (r[1], r[2])
+        )
+        assert acct1_final[2] == 3  # four rows, one NULL balance
+
+
+class TestRankingFunctions:
+    def test_row_number(self, db):
+        rows = db.execute(
+            "SELECT acct_id, time, ROW_NUMBER() OVER "
+            "(PARTITION BY acct_id ORDER BY time) FROM accounts"
+        ).rows
+        acct2 = sorted(r[2] for r in rows if r[0] == 2)
+        assert acct2 == [1, 2]
+
+    def test_rank_with_ties(self, db):
+        rows = db.execute(
+            "SELECT acct_id, time, RANK() OVER "
+            "(PARTITION BY acct_id ORDER BY time) FROM accounts"
+        ).rows
+        acct1 = sorted((r[1], r[2]) for r in rows if r[0] == 1)
+        # time=2 rows tie at rank 2; time=3 resumes at rank 4
+        assert acct1 == [(1, 1), (2, 2), (2, 2), (3, 4)]
+
+
+class TestUnsupportedFrames:
+    def test_exotic_frame_rejected(self, db):
+        from repro.errors import UnsupportedError
+
+        with pytest.raises(UnsupportedError):
+            db.execute(
+                "SELECT SUM(balance) OVER (ORDER BY time "
+                "ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) FROM accounts"
+            )
+
+
+class TestWindowMatchesReference:
+    @pytest.mark.parametrize("sql", [
+        "SELECT acct_id, time, AVG(balance) OVER (PARTITION BY acct_id "
+        "ORDER BY time) FROM accounts",
+        "SELECT acct_id, MAX(balance) OVER (PARTITION BY acct_id) "
+        "FROM accounts",
+        "SELECT time, MIN(balance) OVER (ORDER BY time ROWS BETWEEN "
+        "UNBOUNDED PRECEDING AND CURRENT ROW) FROM accounts",
+    ])
+    def test_equivalence(self, db, sql):
+        assert Counter(db.execute(sql).rows) == Counter(
+            db.reference_execute(sql)
+        )
