@@ -1,0 +1,97 @@
+"""Plan-cache throughput: repeated parameterized workload, cache on vs
+off.
+
+The serving layer's pitch is Oracle's: most OLTP statements are the same
+SQL text executed with different bind values, so the (expensive) CBQT
+optimization should be paid once per statement, not once per execution.
+This bench replays a small parameterized workload many times and
+compares throughput with the shared plan cache against hard-parsing
+every execution.  The acceptance bar is >= 5x.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import QueryService
+
+from conftest import record_report
+
+#: (sql, bind maker) — bind values stay inside the column's observed
+#: range so the adaptive-cursor-sharing drift check keeps sharing the
+#: cached plan (same selectivity class), as an OLTP workload would.
+STATEMENTS = [
+    (
+        "SELECT e.employee_name, e.salary FROM employees e "
+        "WHERE e.emp_id = :id",
+        lambda i: {"id": 1 + (i * 7) % 50},
+    ),
+    (
+        "SELECT e.employee_name FROM employees e "
+        "WHERE e.emp_id = :id "
+        "AND EXISTS (SELECT 1 FROM job_history j "
+        "            WHERE j.emp_id = e.emp_id AND j.start_date > :d)",
+        lambda i: {"id": 1 + (i * 11) % 50, "d": "1995-01-01"},
+    ),
+    (
+        "SELECT e.employee_name, d.department_name, l.city "
+        "FROM employees e, departments d, locations l, countries c "
+        "WHERE e.emp_id = :id AND e.dept_id = d.dept_id "
+        "AND d.loc_id = l.loc_id AND l.country_id = c.country_id "
+        "AND EXISTS (SELECT 1 FROM job_history j WHERE j.emp_id = e.emp_id) "
+        "AND EXISTS (SELECT 1 FROM employees m WHERE m.emp_id = e.mgr_id)",
+        lambda i: {"id": 1 + (i * 13) % 50},
+    ),
+]
+
+ROUNDS = 40
+
+
+def _replay(service: QueryService) -> tuple[float, int]:
+    """Run the workload; returns (elapsed seconds, executions)."""
+    prepared = [(service.prepare(sql), binder) for sql, binder in STATEMENTS]
+    executions = 0
+    started = time.perf_counter()
+    for i in range(ROUNDS):
+        for statement, binder in prepared:
+            statement.execute(binder(i))
+            executions += 1
+    return time.perf_counter() - started, executions
+
+
+def test_plan_cache_throughput(hr_db):
+    cached = QueryService(hr_db)
+    uncached = QueryService(hr_db, caching=False)
+
+    # Warm once outside the timed region (first-touch costs like lazy
+    # imports should not skew either side).
+    cached.execute(STATEMENTS[0][0], STATEMENTS[0][1](0))
+    uncached.execute(STATEMENTS[0][0], STATEMENTS[0][1](0))
+
+    on_seconds, executions = _replay(cached)
+    off_seconds, _ = _replay(uncached)
+
+    on_throughput = executions / on_seconds
+    off_throughput = executions / off_seconds
+    speedup = on_throughput / off_throughput
+    stats = cached.cache_stats()
+
+    report = "\n".join([
+        "plan cache on vs off, repeated parameterized workload "
+        f"({len(STATEMENTS)} statements x {ROUNDS} rounds)",
+        f"{'mode':>12} {'executions':>11} {'seconds':>9} {'exec/s':>9}",
+        f"{'cache on':>12} {executions:11d} {on_seconds:9.3f} "
+        f"{on_throughput:9.1f}",
+        f"{'cache off':>12} {executions:11d} {off_seconds:9.3f} "
+        f"{off_throughput:9.1f}",
+        f"speedup: {speedup:.1f}x (bar: >= 5x)",
+        f"cache: hits={stats['hits']} misses={stats['misses']} "
+        f"reoptimizations={stats['reoptimizations']} "
+        f"hit_ratio={stats['hit_ratio']:.3f}",
+    ])
+    record_report("plan cache throughput", report)
+
+    assert speedup >= 5.0, report
+    # At most one hard parse per statement; everything else is a hit.
+    assert stats["hits"] >= executions - len(STATEMENTS)
+    assert stats["misses"] <= len(STATEMENTS)

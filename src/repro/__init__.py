@@ -8,14 +8,17 @@ optimizer, cost-annotation reuse, cost cut-off, interleaving and
 juxtaposition of interacting transformations — plus the execution engine
 and workload machinery needed to regenerate the paper's evaluation.
 
-Entry points: :class:`Database`, :class:`OptimizerConfig`.
+Entry points: :class:`Database`, :class:`OptimizerConfig`, and the
+serving layer :class:`QueryService` / :class:`Session` (bind variables,
+shared plan cache, adaptive cursor sharing).
 """
 
 from .cbqt.framework import CbqtConfig, OptimizationReport
 from .database import Database, OptimizedQuery, OptimizerConfig, QueryResult
 from .errors import ReproError
+from .service import PlanCache, PreparedStatement, QueryService, Session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Database",
@@ -24,6 +27,10 @@ __all__ = [
     "QueryResult",
     "CbqtConfig",
     "OptimizationReport",
+    "PlanCache",
+    "PreparedStatement",
+    "QueryService",
+    "Session",
     "ReproError",
     "__version__",
 ]

@@ -157,7 +157,12 @@ class TableDef:
 
 class Catalog:
     """The schema dictionary: table definitions, indexes, and registered
-    expensive functions (used by the predicate-pullup transformation)."""
+    expensive functions (used by the predicate-pullup transformation).
+
+    The catalog carries monotonic version counters — one global, one per
+    table — bumped on every DDL change.  Cached plans record the versions
+    of the objects they depend on, making staleness an O(1) comparison
+    (the library-cache invalidation hook)."""
 
     def __init__(self) -> None:
         self.tables: dict[str, TableDef] = {}
@@ -165,6 +170,24 @@ class Catalog:
         #: function name -> per-call cost in work units; presence marks the
         #: function as "expensive" per §2.2.6 of the paper.
         self.expensive_functions: dict[str, float] = {}
+        self._version = 0
+        self._table_versions: dict[str, int] = {}
+
+    # -- versioning --------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every DDL change."""
+        return self._version
+
+    def table_version(self, name: str) -> int:
+        """DDL version of one table (0 until it exists)."""
+        return self._table_versions.get(name.lower(), 0)
+
+    def _bump(self, table: str) -> None:
+        self._version += 1
+        key = table.lower()
+        self._table_versions[key] = self._table_versions.get(key, 0) + 1
 
     # -- definition --------------------------------------------------------
 
@@ -172,6 +195,7 @@ class Catalog:
         if table.name in self.tables:
             raise CatalogError(f"table {table.name!r} already exists")
         self.tables[table.name] = table
+        self._bump(table.name)
         if table.primary_key:
             self._add_key_index(table, table.primary_key, "pk")
         for i, key in enumerate(table.unique_keys):
@@ -194,6 +218,7 @@ class Catalog:
                 )
         self.indexes[index.name] = index
         table.indexes.append(index)
+        self._bump(table.name)
         if index.unique and index.columns not in table.unique_keys and \
                 index.columns != table.primary_key:
             table.unique_keys.append(index.columns)

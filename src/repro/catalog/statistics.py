@@ -173,22 +173,51 @@ class TableStats:
 
 
 class StatisticsRegistry:
-    """Holds per-table statistics; the optimizer reads through this."""
+    """Holds per-table statistics; the optimizer reads through this.
+
+    Like the catalog, the registry keeps monotonic version counters
+    (global and per table) bumped on every statistics change — including
+    ``drop``, which ``Database.insert`` uses to mark stale statistics —
+    so cached plans can detect staleness with an O(1) comparison."""
 
     def __init__(self) -> None:
         self._stats: dict[str, TableStats] = {}
+        self._version = 0
+        self._table_versions: dict[str, int] = {}
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every statistics change."""
+        return self._version
+
+    def table_version(self, table: str) -> int:
+        """Statistics version of one table (0 until first change)."""
+        return self._table_versions.get(table.lower(), 0)
+
+    def _bump(self, table: str) -> None:
+        self._version += 1
+        key = table.lower()
+        self._table_versions[key] = self._table_versions.get(key, 0) + 1
 
     def set(self, table: str, stats: TableStats) -> None:
         self._stats[table.lower()] = stats
+        self._bump(table)
 
     def get(self, table: str) -> Optional[TableStats]:
         return self._stats.get(table.lower())
 
     def drop(self, table: str) -> None:
+        # Bump even when no statistics were stored: a drop signals the
+        # underlying data changed (bulk insert), which stales cached plans
+        # whether or not statistics had been collected.
         self._stats.pop(table.lower(), None)
+        self._bump(table)
 
     def clear(self) -> None:
+        tables = list(self._stats)
         self._stats.clear()
+        for table in tables:
+            self._bump(table)
 
 
 def collect_statistics(

@@ -14,8 +14,16 @@ INDEX / SELECT), the shell understands meta commands:
 .disable NAME         disable a transformation (e.g. jppd, unnest_view)
 .enable NAME          re-enable a transformation
 .timing on|off        print optimization/execution timings
+.cache [stats|clear|on|off]  plan-cache statistics / control
 .load FILE            run statements from a SQL script
 .quit                 exit
+
+Queries run through the shared plan cache (:class:`repro.QueryService`);
+``.explain on`` output shows each statement's cache disposition.  The
+module also provides subcommands: ``python -m repro cache-stats
+[script ...]`` runs the scripts and prints the plan-cache counters, and
+``python -m repro explain "SQL" [script ...]`` explains one query
+(including cache counters) after running the scripts.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import sys
 from dataclasses import replace
 from typing import Optional, TextIO
 
-from . import Database, OptimizerConfig
+from . import Database, OptimizerConfig, QueryService
 from .cbqt.framework import CbqtConfig
 from .errors import ReproError
 
@@ -38,6 +46,7 @@ class Shell:
 
     def __init__(self, out: Optional[TextIO] = None):
         self.db = Database()
+        self.service = QueryService(self.db)
         self.out = out or sys.stdout
         self.show_explain = False
         self.show_decisions = False
@@ -99,8 +108,9 @@ class Shell:
             self.echo(f"error: {exc}")
 
     def _run_query(self, sql: str) -> None:
-        result = self.db.execute(sql)
+        result = self.service.execute(sql)
         if self.show_explain:
+            self.echo(f"-- cache: {result.cache_status}")
             self.echo("-- transformed: " + result.report.transformed_sql)
             self.echo(result.plan.describe())
         if self.show_decisions:
@@ -193,6 +203,19 @@ class Shell:
         self.show_timing = _on_off(args)
         self.echo(f"timing {'on' if self.show_timing else 'off'}")
 
+    def _meta_cache(self, args) -> None:
+        action = args[0].lower() if args else "stats"
+        if action == "stats":
+            self.echo(self.service.format_cache_stats())
+        elif action == "clear":
+            removed = self.service.invalidate()
+            self.echo(f"plan cache cleared ({removed} entries)")
+        elif action in ("on", "off"):
+            self.service.caching = action == "on"
+            self.echo(f"plan cache {action}")
+        else:
+            self.echo("usage: .cache [stats|clear|on|off]")
+
     def _meta_mode(self, args) -> None:
         mode = args[0].lower() if args else ""
         if mode == "heuristic":
@@ -270,9 +293,45 @@ def _on_off(args) -> bool:
     return bool(args) and args[0].lower() in ("on", "1", "true", "yes")
 
 
+def _cmd_cache_stats(args: list[str], shell: Shell) -> int:
+    """``repro cache-stats [script ...]`` — run the scripts, then print
+    the plan-cache counters."""
+    for path in args:
+        with open(path) as handle:
+            shell.run_script(handle.read())
+    shell.echo(shell.service.format_cache_stats())
+    return 0
+
+
+def _cmd_explain(args: list[str], shell: Shell) -> int:
+    """``repro explain "SQL" [script ...]`` — run the scripts (schema /
+    data setup), then explain the query with cache counters."""
+    if not args:
+        shell.echo('usage: explain "SQL" [script ...]')
+        return 2
+    sql, scripts = args[0], args[1:]
+    for path in scripts:
+        with open(path) as handle:
+            shell.run_script(handle.read())
+    try:
+        shell.echo(shell.service.explain(sql))
+    except ReproError as exc:
+        shell.echo(f"error: {exc}")
+        return 1
+    return 0
+
+
+SUBCOMMANDS = {
+    "cache-stats": _cmd_cache_stats,
+    "explain": _cmd_explain,
+}
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
     shell = Shell()
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:], shell)
     for path in argv:
         with open(path) as handle:
             shell.run_script(handle.read())

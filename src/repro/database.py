@@ -35,6 +35,7 @@ from .optimizer.costmodel import DEFAULT_COST_MODEL, CostModel
 from .optimizer.physical import OptimizerCounters, PhysicalOptimizer
 from .optimizer.plans import Plan
 from .qtree import build_query_tree
+from .qtree.binds import apply_peeks
 from .qtree.blocks import QueryNode
 from .sql import ast, parse_query, parse_statement
 
@@ -113,6 +114,8 @@ class QueryResult:
     exec_stats: ExecStats
     optimize_seconds: float
     execute_seconds: float
+    #: set by the service layer: "miss", "hit", or "reoptimized"
+    cache_status: Optional[str] = None
 
     def __iter__(self):
         return iter(self.rows)
@@ -221,31 +224,55 @@ class Database:
             self._sampling_cache if config.dynamic_sampling else None,
         )
 
-    def optimize(
-        self, sql: str, config: Optional[OptimizerConfig] = None
+    def optimize_tree(
+        self,
+        tree: QueryNode,
+        sql: str = "",
+        config: Optional[OptimizerConfig] = None,
     ) -> OptimizedQuery:
-        """Transform + plan a query without running it."""
+        """Transform + plan an already-built query tree.
+
+        This is the single optimization path: ``optimize``, ``explain``,
+        ``execute``, and the service layer's plan cache all funnel through
+        it.  The framework may mutate *tree*; callers that need to keep a
+        pristine copy (for re-optimization) must clone or re-parse."""
         config = config or self.config
-        tree = self.parse(sql)
         columns = list(tree.output_columns())
         physical = self._physical(config)
         framework = CbqtFramework(self.catalog, physical, config.cbqt)
         tree, plan, report = framework.optimize(tree)
         return OptimizedQuery(sql, tree, plan, report, physical.counters, columns)
 
+    def optimize(
+        self,
+        sql: str,
+        config: Optional[OptimizerConfig] = None,
+        binds: Optional[dict] = None,
+    ) -> OptimizedQuery:
+        """Transform + plan a query without running it.
+
+        When *binds* are given their values are peeked for selectivity
+        estimation (Oracle-style bind peeking); the plan still contains
+        bind placeholders and runs correctly for any later values."""
+        tree = self.parse(sql)
+        if binds:
+            apply_peeks(tree, binds)
+        return self.optimize_tree(tree, sql, config)
+
     def explain(self, sql: str, config: Optional[OptimizerConfig] = None) -> str:
         """EXPLAIN-style output: transformed SQL + the operator tree."""
         return self.optimize(sql, config).explain()
 
-    def execute(
-        self, sql: str, config: Optional[OptimizerConfig] = None
+    def execute_plan(
+        self,
+        optimized: OptimizedQuery,
+        config: Optional[OptimizerConfig] = None,
+        binds: Optional[dict] = None,
+        optimize_seconds: float = 0.0,
+        cache_status: Optional[str] = None,
     ) -> QueryResult:
-        """Optimize and run a query."""
+        """Run an already-optimized query with the given bind values."""
         config = config or self.config
-        started = time.perf_counter()
-        optimized = self.optimize(sql, config)
-        optimize_seconds = time.perf_counter() - started
-
         physical = self._physical(config)
         executor = Executor(
             self.storage,
@@ -255,7 +282,7 @@ class Database:
             cost_model=config.cost_model,
         )
         started = time.perf_counter()
-        rows, stats = executor.execute(optimized.plan)
+        rows, stats = executor.execute(optimized.plan, binds=binds)
         execute_seconds = time.perf_counter() - started
         return QueryResult(
             rows,
@@ -265,9 +292,26 @@ class Database:
             stats,
             optimize_seconds,
             execute_seconds,
+            cache_status,
         )
 
-    def reference_execute(self, sql: str) -> list[tuple]:
+    def execute(
+        self,
+        sql: str,
+        config: Optional[OptimizerConfig] = None,
+        binds: Optional[dict] = None,
+    ) -> QueryResult:
+        """Optimize and run a query (one-shot, no plan cache)."""
+        started = time.perf_counter()
+        optimized = self.optimize(sql, config, binds)
+        optimize_seconds = time.perf_counter() - started
+        return self.execute_plan(
+            optimized, config, binds, optimize_seconds=optimize_seconds
+        )
+
+    def reference_execute(
+        self, sql: str, binds: Optional[dict] = None
+    ) -> list[tuple]:
         """Evaluate with the naive reference evaluator (test oracle)."""
-        evaluator = ReferenceEvaluator(self.storage, self.functions)
+        evaluator = ReferenceEvaluator(self.storage, self.functions, binds)
         return evaluator.evaluate(self.parse(sql))

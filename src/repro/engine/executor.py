@@ -93,10 +93,19 @@ class Executor:
         self._plan_subquery = plan_subquery
         self._cm = cost_model
 
-    def execute(self, plan: Plan, binding: Optional[Row] = None) -> tuple[list[tuple], ExecStats]:
-        """Run *plan* to completion; returns output tuples and stats."""
+    def execute(
+        self,
+        plan: Plan,
+        binding: Optional[Row] = None,
+        binds: Optional[dict] = None,
+    ) -> tuple[list[tuple], ExecStats]:
+        """Run *plan* to completion; returns output tuples and stats.
+
+        *binds* maps bind-variable keys (lowercase, as on
+        :class:`~repro.sql.ast.BindParam`) to their values for this run.
+        """
         stats = ExecStats()
-        run = _PlanRun(self, stats)
+        run = _PlanRun(self, stats, binds)
         rows = [run.output_tuple(row) for row in run.rows(plan, binding or {})]
         stats.rows_out = len(rows)
         return rows, stats
@@ -105,14 +114,17 @@ class Executor:
 class _PlanRun:
     """State for one plan execution (stats, subquery caches)."""
 
-    def __init__(self, executor: Executor, stats: ExecStats):
+    def __init__(self, executor: Executor, stats: ExecStats,
+                 binds: Optional[dict] = None):
         self._executor = executor
         self._storage = executor._storage
         self._catalog = executor._catalog
         self._cm = executor._cm
         self.stats = stats
         self._runner = TisSubqueryRunner(self)
-        self._compiler = ExpressionCompiler(executor._functions, self._runner)
+        self._compiler = ExpressionCompiler(
+            executor._functions, self._runner, binds
+        )
         self._predicate_cache: dict[int, Callable[[Row], object]] = {}
         self._expr_cache: dict[int, Callable[[Row], object]] = {}
         self._subquery_plans: dict[int, Plan] = {}

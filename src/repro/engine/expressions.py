@@ -159,9 +159,11 @@ class ExpressionCompiler:
         self,
         functions: FunctionRegistry,
         subquery_runner: Optional[SubqueryRunner] = None,
+        binds: Optional[dict] = None,
     ):
         self._functions = functions
         self._subqueries = subquery_runner
+        self._binds = binds or {}
 
     def compile(self, expr: ast.Expr) -> CompiledExpr:
         method = getattr(self, f"_compile_{type(expr).__name__.lower()}", None)
@@ -192,6 +194,17 @@ class ExpressionCompiler:
 
     def _compile_star(self, expr: ast.Star) -> CompiledExpr:
         raise ExecutionError("bare * cannot be evaluated as a value")
+
+    def _compile_bindparam(self, expr: ast.BindParam) -> CompiledExpr:
+        # Binds are resolved at compile time: one plan, any bind values —
+        # the compiler is constructed per execution with that run's binds.
+        try:
+            value = self._binds[expr.key]
+        except KeyError:
+            raise ExecutionError(
+                f"no value bound for parameter :{expr.key}"
+            ) from None
+        return lambda _row: value
 
     # -- operators -------------------------------------------------------------
 

@@ -44,10 +44,15 @@ from .windows import compute_window
 class ReferenceEvaluator:
     """Evaluates query trees directly against stored rows."""
 
-    def __init__(self, storage: Storage, functions: Optional[FunctionRegistry] = None):
+    def __init__(
+        self,
+        storage: Storage,
+        functions: Optional[FunctionRegistry] = None,
+        binds: Optional[dict] = None,
+    ):
         self._storage = storage
         self._functions = functions or FunctionRegistry()
-        self._compiler = ExpressionCompiler(self._functions, _Runner(self))
+        self._compiler = ExpressionCompiler(self._functions, _Runner(self), binds)
 
     # -- public API -----------------------------------------------------------
 

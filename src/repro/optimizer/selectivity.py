@@ -78,15 +78,30 @@ def _estimate(expr: ast.Expr, stats: StatsContext) -> float:
     return 0.5
 
 
+def _constant_value(expr: ast.Expr) -> tuple[object, bool]:
+    """Value of a literal, or of a bind variable whose value was peeked at
+    optimization time (bind peeking) — ``(value, known)``."""
+    if isinstance(expr, ast.Literal):
+        return expr.value, True
+    if isinstance(expr, ast.BindParam) and expr.has_peek:
+        return expr.peeked, True
+    return None, False
+
+
 def _column_and_literal(
     expr: ast.BinOp,
 ) -> Optional[tuple[ast.ColumnRef, object, str]]:
-    """Match ``col <op> literal`` in either orientation."""
+    """Match ``col <op> constant`` in either orientation, where a constant
+    is a literal or a peeked bind variable."""
     left, right, op = expr.left, expr.right, expr.op
-    if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
-        return left, right.value, op
-    if isinstance(right, ast.ColumnRef) and isinstance(left, ast.Literal):
-        return right, left.value, ast.MIRRORED_COMPARISON[op]
+    if isinstance(left, ast.ColumnRef):
+        value, known = _constant_value(right)
+        if known:
+            return left, value, op
+    if isinstance(right, ast.ColumnRef):
+        value, known = _constant_value(left)
+        if known:
+            return right, value, ast.MIRRORED_COMPARISON[op]
     return None
 
 
@@ -179,13 +194,11 @@ def _null_selectivity(expr: ast.IsNull, stats: StatsContext) -> float:
 
 
 def _between_selectivity(expr: ast.Between, stats: StatsContext) -> float:
-    if (
-        isinstance(expr.operand, ast.ColumnRef)
-        and isinstance(expr.low, ast.Literal)
-        and isinstance(expr.high, ast.Literal)
-    ):
-        low = _column_vs_literal(expr.operand, expr.low.value, ">=", stats)
-        high = _column_vs_literal(expr.operand, expr.high.value, "<=", stats)
+    low_value, low_known = _constant_value(expr.low)
+    high_value, high_known = _constant_value(expr.high)
+    if isinstance(expr.operand, ast.ColumnRef) and low_known and high_known:
+        low = _column_vs_literal(expr.operand, low_value, ">=", stats)
+        high = _column_vs_literal(expr.operand, high_value, "<=", stats)
         sel = max(0.0, low + high - 1.0)
     else:
         sel = DEFAULT_RANGE_SELECTIVITY ** 2
@@ -196,8 +209,9 @@ def _in_list_selectivity(expr: ast.InList, stats: StatsContext) -> float:
     if isinstance(expr.operand, ast.ColumnRef):
         sel = 0.0
         for item in expr.items:
-            if isinstance(item, ast.Literal):
-                sel += _column_vs_literal(expr.operand, item.value, "=", stats)
+            value, known = _constant_value(item)
+            if known:
+                sel += _column_vs_literal(expr.operand, value, "=", stats)
             else:
                 sel += DEFAULT_EQ_SELECTIVITY
         sel = min(1.0, sel)

@@ -1,0 +1,74 @@
+"""Thread-safe counters for the query-serving layer.
+
+Mirrors the accounting Oracle exposes for the library cache
+(V$LIBRARYCACHE / V$SQL): hits, misses, invalidations, evictions,
+re-optimizations, plus latency accumulators split by phase.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class CacheMetrics:
+    """Counters for one plan cache.  Every update takes the lock, so
+    concurrent sessions never lose increments."""
+
+    _COUNTERS = (
+        "hits",
+        "misses",
+        "invalidations",
+        "evictions",
+        "reoptimizations",
+        "executions",
+    )
+    _TIMERS = ("optimize_seconds", "execute_seconds")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+        for name in self._TIMERS:
+            setattr(self, name, 0.0)
+
+    def bump(self, counter: str, n: int = 1) -> None:
+        if counter not in self._COUNTERS:
+            raise ValueError(f"unknown counter {counter!r}")
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + n)
+
+    def add_time(self, timer: str, seconds: float) -> None:
+        if timer not in self._TIMERS:
+            raise ValueError(f"unknown timer {timer!r}")
+        with self._lock:
+            setattr(self, timer, getattr(self, timer) + seconds)
+
+    def snapshot(self) -> dict:
+        """A consistent copy of every counter and timer."""
+        with self._lock:
+            out = {name: getattr(self, name) for name in self._COUNTERS}
+            out.update({name: getattr(self, name) for name in self._TIMERS})
+        out["hit_ratio"] = (
+            out["hits"] / (out["hits"] + out["misses"])
+            if (out["hits"] + out["misses"])
+            else 0.0
+        )
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            for name in self._COUNTERS:
+                setattr(self, name, 0)
+            for name in self._TIMERS:
+                setattr(self, name, 0.0)
+
+    def format_table(self) -> str:
+        """Human-readable rendering for EXPLAIN output and the CLI."""
+        snap = self.snapshot()
+        lines = ["plan cache statistics"]
+        for name in self._COUNTERS:
+            lines.append(f"  {name:<16} {snap[name]}")
+        lines.append(f"  {'hit_ratio':<16} {snap['hit_ratio']:.3f}")
+        for name in self._TIMERS:
+            lines.append(f"  {name:<16} {snap[name]:.6f}")
+        return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""The query-serving layer: sessions, prepared statements, and the
+shared plan cache.
+
+This is a miniature of Oracle's server-side cursor machinery:
+
+* ``QueryService`` owns the shared :class:`PlanCache` (library cache)
+  over one :class:`~repro.database.Database`;
+* ``Session.prepare()`` returns a :class:`PreparedStatement`; its
+  ``execute(binds)`` peeks bind values on a hard parse, shares the
+  cached plan on soft parses, and re-optimizes when a new bind value's
+  estimated selectivity drifts far from the peeked plan's assumption
+  (adaptive cursor sharing);
+* DDL and ``analyze()`` invalidate exactly the dependent entries via the
+  catalog/statistics version counters.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..database import Database, OptimizerConfig, QueryResult
+from .binds import extract_bind_profile, max_drift, normalize_binds
+from .metrics import CacheMetrics
+from .plan_cache import CacheEntry, PlanCache, normalize_sql
+from ..qtree.binds import apply_peeks, referenced_tables
+
+#: re-optimize when the selectivity ratio between the peeked plan and the
+#: current binds exceeds this factor
+DEFAULT_REOPTIMIZE_THRESHOLD = 8.0
+
+
+class PreparedStatement:
+    """A parsed-once, execute-many handle onto one SQL text.
+
+    The statement itself is light: the shareable state (plan, bind
+    profile, dependency versions) lives in the service's plan cache, so
+    two sessions preparing the same text share one cursor."""
+
+    def __init__(self, service: "QueryService", sql: str,
+                 config: Optional[OptimizerConfig] = None):
+        self._service = service
+        self.sql = sql
+        self.config = config
+
+    def execute(self, binds: object = None) -> QueryResult:
+        """Run with *binds* (mapping or positional sequence)."""
+        return self._service.execute(self.sql, binds, self.config)
+
+    def explain(self, binds: object = None) -> str:
+        return self._service.explain(self.sql, binds, self.config)
+
+    def __repr__(self) -> str:
+        return f"PreparedStatement({self.sql!r})"
+
+
+class Session:
+    """One client's view of the service.  Sessions are cheap; plans are
+    shared across all sessions of the owning service."""
+
+    def __init__(self, service: "QueryService",
+                 config: Optional[OptimizerConfig] = None):
+        self._service = service
+        self.config = config
+
+    def prepare(self, sql: str,
+                config: Optional[OptimizerConfig] = None) -> PreparedStatement:
+        return PreparedStatement(self._service, sql, config or self.config)
+
+    def execute(self, sql: str, binds: object = None) -> QueryResult:
+        return self._service.execute(sql, binds, self.config)
+
+    def explain(self, sql: str, binds: object = None) -> str:
+        return self._service.explain(sql, binds, self.config)
+
+
+class QueryService:
+    """Shared query-serving layer over one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        capacity: int = 128,
+        reoptimize_threshold: float = DEFAULT_REOPTIMIZE_THRESHOLD,
+        caching: bool = True,
+    ):
+        self.database = database
+        self.metrics = CacheMetrics()
+        self.cache = PlanCache(capacity, self.metrics)
+        self.reoptimize_threshold = reoptimize_threshold
+        self.caching = caching
+
+    # -- session / statement construction ----------------------------------
+
+    def session(self, config: Optional[OptimizerConfig] = None) -> Session:
+        return Session(self, config)
+
+    def prepare(self, sql: str,
+                config: Optional[OptimizerConfig] = None) -> PreparedStatement:
+        return PreparedStatement(self, sql, config)
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        binds: object = None,
+        config: Optional[OptimizerConfig] = None,
+    ) -> QueryResult:
+        """Serve one execution: soft parse against the plan cache, hard
+        parse (with bind peeking) on miss, adaptive re-optimization on
+        selectivity drift."""
+        bind_map = normalize_binds(binds)
+        entry, status, optimize_seconds = self._cursor_for(sql, bind_map, config)
+        result = self.database.execute_plan(
+            entry.optimized,
+            config,
+            bind_map,
+            optimize_seconds=optimize_seconds,
+            cache_status=status,
+        )
+        self.metrics.bump("executions")
+        self.metrics.add_time("execute_seconds", result.execute_seconds)
+        return result
+
+    def explain(
+        self,
+        sql: str,
+        binds: object = None,
+        config: Optional[OptimizerConfig] = None,
+    ) -> str:
+        """EXPLAIN through the service: the (possibly cached) plan, its
+        cache disposition, and the cache counters."""
+        bind_map = normalize_binds(binds)
+        entry, status, _seconds = self._cursor_for(sql, bind_map, config)
+        return (
+            f"-- cache: {status}\n"
+            + entry.optimized.explain()
+            + "\n"
+            + self.metrics.format_table()
+        )
+
+    # -- cache management --------------------------------------------------
+
+    def invalidate(self, table: Optional[str] = None) -> int:
+        """Eagerly drop cached plans depending on *table* (all when None).
+        Lazy validation makes this optional; it exists for explicit
+        ``ALTER``-style maintenance."""
+        return self.cache.invalidate(table)
+
+    def cache_stats(self) -> dict:
+        """Counters plus current occupancy."""
+        stats = self.metrics.snapshot()
+        stats["entries"] = len(self.cache)
+        stats["capacity"] = self.cache.capacity
+        return stats
+
+    def format_cache_stats(self) -> str:
+        stats = self.cache_stats()
+        return (
+            self.metrics.format_table()
+            + f"\n  {'entries':<16} {stats['entries']}"
+            + f"\n  {'capacity':<16} {stats['capacity']}"
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _versions(self, table: str) -> tuple:
+        return (
+            self.database.catalog.table_version(table),
+            self.database.statistics.table_version(table),
+        )
+
+    def _key(self, sql: str, config: Optional[OptimizerConfig]) -> tuple:
+        effective = config or self.database.config
+        return (normalize_sql(sql), repr(effective))
+
+    def _cursor_for(
+        self,
+        sql: str,
+        bind_map: dict,
+        config: Optional[OptimizerConfig],
+    ) -> tuple[CacheEntry, str, float]:
+        """Find or build the cursor serving this call; returns the entry,
+        its cache disposition, and the optimize time spent (0 on hit)."""
+        key = self._key(sql, config)
+        if not self.caching:
+            entry, seconds = self._hard_parse(key, sql, bind_map, config)
+            self.metrics.bump("misses")
+            return entry, "uncached", seconds
+
+        entry = self.cache.lookup(key, self._versions)
+        if entry is None:
+            entry, seconds = self._hard_parse(key, sql, bind_map, config)
+            self.cache.store(entry)
+            return entry, "miss", seconds
+
+        if entry.bind_profile and bind_map != entry.peeked_binds:
+            drift = max_drift(
+                entry.bind_profile, bind_map, self.database.statistics
+            )
+            if drift > self.reoptimize_threshold:
+                entry, seconds = self._hard_parse(key, sql, bind_map, config)
+                self.cache.store(entry)
+                self.metrics.bump("reoptimizations")
+                return entry, "reoptimized", seconds
+        return entry, "hit", 0.0
+
+    def _hard_parse(
+        self,
+        key: tuple,
+        sql: str,
+        bind_map: dict,
+        config: Optional[OptimizerConfig],
+    ) -> tuple[CacheEntry, float]:
+        """Parse, peek binds, optimize; build the cache entry recording
+        the dependency versions read *before* optimization, so any
+        concurrent catalog/statistics change invalidates the entry."""
+        database = self.database
+        started = time.perf_counter()
+        tree = database.parse(sql)
+        dependencies = {
+            table: self._versions(table) for table in referenced_tables(tree)
+        }
+        apply_peeks(tree, bind_map)
+        profile = extract_bind_profile(tree, database.statistics)
+        optimized = database.optimize_tree(tree, sql, config)
+        seconds = time.perf_counter() - started
+        self.metrics.add_time("optimize_seconds", seconds)
+        entry = CacheEntry(
+            key=key,
+            sql=sql,
+            optimized=optimized,
+            dependencies=dependencies,
+            bind_profile=profile,
+            peeked_binds=dict(bind_map),
+        )
+        return entry, seconds

@@ -114,6 +114,48 @@ class Literal(Expr):
         return f"Literal({self.value!r})"
 
 
+#: Sentinel for "no value peeked yet" on a BindParam (None is a valid
+#: peeked value: the NULL bind).
+NO_PEEK = object()
+
+
+class BindParam(Expr):
+    """A bind-variable placeholder: ``?`` or ``:name``.
+
+    ``key`` is the canonical parameter key: the lower-cased name for
+    ``:name`` binds, or the 1-based ordinal as a string (``"1"``, ``"2"``)
+    for ``?`` binds — so the canonical rendering ``:1`` round-trips.
+
+    ``peeked`` carries the value observed at first optimization (bind
+    peeking): the selectivity estimator treats a peeked BindParam like a
+    literal of that value, while execution always reads the actual bind
+    set for the current call.  Identity (``__eq__``/``__hash__``) is by
+    key only; the peeked value is advisory optimizer state.
+    """
+
+    __slots__ = ("key", "peeked")
+
+    def __init__(self, key: str, peeked: object = NO_PEEK):
+        self.key = key.lower()
+        self.peeked = peeked
+
+    @property
+    def has_peek(self) -> bool:
+        return self.peeked is not NO_PEEK
+
+    def clone(self) -> "BindParam":
+        return BindParam(self.key, self.peeked)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BindParam) and self.key == other.key
+
+    def __hash__(self) -> int:
+        return hash(("bind", self.key))
+
+    def __repr__(self) -> str:
+        return f"BindParam(:{self.key})"
+
+
 class Star(Expr):
     """``*`` or ``alias.*`` in a select list or COUNT(*)."""
 
@@ -693,6 +735,13 @@ def contains_aggregate(expr: Expr) -> bool:
     if isinstance(expr, FuncCall) and expr.is_aggregate:
         return True
     return any(contains_aggregate(child) for child in expr.children())
+
+
+def bind_params_in(expr: Expr) -> Iterator[BindParam]:
+    """Yield every BindParam in *expr*, not descending into subqueries."""
+    for node in expr.walk():
+        if isinstance(node, BindParam):
+            yield node
 
 
 def contains_subquery(expr: Expr) -> bool:

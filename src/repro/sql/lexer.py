@@ -2,8 +2,9 @@
 
 Converts a SQL string into a list of :class:`~repro.sql.tokens.Token`.
 Supports line comments (``--``), block comments (``/* */``), single-quoted
-string literals with doubled-quote escaping, and numeric literals with an
-optional fraction and exponent.
+string literals with doubled-quote escaping, numeric literals with an
+optional fraction and exponent, and bind-variable placeholders (``?``
+positional, ``:name`` named).
 """
 
 from __future__ import annotations
@@ -46,6 +47,8 @@ class _Lexer:
                 self._lex_number()
             elif ch.isalpha() or ch == "_" or ch == '"':
                 self._lex_word()
+            elif ch == "?" or ch == ":":
+                self._lex_bind()
             else:
                 self._lex_symbol()
         self._emit(TokenType.EOF, "")
@@ -157,6 +160,23 @@ class _Lexer:
             self._tokens.append(Token(TokenType.KEYWORD, upper, line, col))
         else:
             self._tokens.append(Token(TokenType.IDENT, word, line, col))
+
+    def _lex_bind(self) -> None:
+        """Bind placeholders: ``?`` (positional, numbered left to right by
+        the parser) and ``:name`` / ``:1`` (named, Oracle style)."""
+        line, col = self._line, self._col
+        ch = self._advance()
+        if ch == "?":
+            self._tokens.append(Token(TokenType.BIND, "", line, col))
+            return
+        chars: list[str] = []
+        while self._pos < len(self._text) and (
+            self._text[self._pos].isalnum() or self._text[self._pos] == "_"
+        ):
+            chars.append(self._advance())
+        if not chars:
+            raise LexError("expected bind variable name after ':'", line, col)
+        self._tokens.append(Token(TokenType.BIND, "".join(chars), line, col))
 
     def _lex_symbol(self) -> None:
         line, col = self._line, self._col

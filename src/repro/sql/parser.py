@@ -68,6 +68,7 @@ class _Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._pos = 0
+        self._bind_ordinal = 0
 
     # -- cursor helpers ----------------------------------------------------
 
@@ -530,6 +531,15 @@ class _Parser:
         if token.is_keyword("FALSE"):
             self.next()
             return ast.Literal(False)
+
+        if token.type is TokenType.BIND:
+            self.next()
+            if token.value:
+                return ast.BindParam(token.value)
+            # ``?`` placeholders are numbered left to right across the
+            # whole statement, so they share keys with ``:1``-style binds.
+            self._bind_ordinal += 1
+            return ast.BindParam(str(self._bind_ordinal))
 
         if token.is_keyword("CASE"):
             return self._parse_case()

@@ -36,6 +36,10 @@ def render_expr(expr: ast.Expr) -> str:
         if expr.qualifier:
             return f"{expr.qualifier}.{expr.name}"
         return expr.name
+    if isinstance(expr, ast.BindParam):
+        # Canonical Oracle-style form; ``?`` binds render as :1, :2, ...
+        # which re-parse to the same keys.
+        return f":{expr.key}"
     if isinstance(expr, ast.Star):
         return f"{expr.qualifier}.*" if expr.qualifier else "*"
     if isinstance(expr, ast.BinOp):

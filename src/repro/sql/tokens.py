@@ -20,6 +20,7 @@ class TokenType(enum.Enum):
     NUMBER = "number"
     STRING = "string"
     OPERATOR = "operator"      # = <> != < <= > >= + - * / ||
+    BIND = "bind"              # ? or :name bind-variable placeholder
     COMMA = "comma"
     DOT = "dot"
     LPAREN = "lparen"

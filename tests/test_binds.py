@@ -1,0 +1,153 @@
+"""Bind variables end to end: lexer, parser, rendering, selectivity
+peeking, and execution against the reference evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExecutionError, LexError
+from repro.qtree.binds import apply_peeks, bind_keys, referenced_tables
+from repro.sql import ast, parse_query, tokenize
+from repro.sql.render import render_expr
+from repro.sql.tokens import TokenType
+
+
+# -- lexer -----------------------------------------------------------------
+
+
+def test_lex_positional_and_named_binds():
+    tokens = tokenize("SELECT * FROM t WHERE a = ? AND b = :low AND c = :1")
+    binds = [t for t in tokens if t.type is TokenType.BIND]
+    assert [t.value for t in binds] == ["", "low", "1"]
+
+
+def test_lex_bare_colon_is_an_error():
+    with pytest.raises(LexError):
+        tokenize("SELECT : FROM t")
+
+
+# -- parser ----------------------------------------------------------------
+
+
+def test_positional_binds_numbered_left_to_right():
+    stmt = parse_query("SELECT a FROM t WHERE b = ? AND c BETWEEN ? AND ?")
+    keys = [
+        node.key
+        for conjunct in (stmt.where,)
+        for node in conjunct.walk()
+        if isinstance(node, ast.BindParam)
+    ]
+    assert keys == ["1", "2", "3"]
+
+
+def test_named_binds_are_lowercased_and_shared():
+    stmt = parse_query("SELECT a FROM t WHERE b = :Low OR c = :LOW")
+    params = [n for n in stmt.where.walk() if isinstance(n, ast.BindParam)]
+    assert [p.key for p in params] == ["low", "low"]
+    assert params[0] == params[1]
+
+
+def test_bind_render_round_trip():
+    stmt = parse_query("SELECT a FROM t WHERE b = ? AND c = :hi")
+    rendered = render_expr(stmt.where)
+    assert rendered == "b = :1 AND c = :hi"
+    again = parse_query(f"SELECT a FROM t WHERE {rendered}")
+    keys = [n.key for n in again.where.walk() if isinstance(n, ast.BindParam)]
+    assert keys == ["1", "hi"]
+
+
+# -- tree helpers ----------------------------------------------------------
+
+
+def test_bind_keys_and_referenced_tables(tiny_db):
+    db = tiny_db
+    tree = db.parse(
+        "SELECT e.emp_id FROM employees e "
+        "WHERE e.salary > :floor AND e.dept_id IN "
+        "(SELECT d.dept_id FROM departments d WHERE d.loc_id = ?)"
+    )
+    assert bind_keys(tree) == {"floor", "1"}
+    assert referenced_tables(tree) == {"employees", "departments"}
+
+
+def test_apply_peeks_sets_only_known_keys(tiny_db):
+    db = tiny_db
+    tree = db.parse("SELECT e.emp_id FROM employees e WHERE e.salary > :floor")
+    apply_peeks(tree, {"other": 1})
+    [param] = [
+        n
+        for block in tree.iter_blocks()
+        for c in block.all_conjuncts()
+        for n in c.walk()
+        if isinstance(n, ast.BindParam)
+    ]
+    assert not param.has_peek
+    apply_peeks(tree, {"floor": 40})
+    assert param.has_peek and param.peeked == 40
+
+
+# -- peeked selectivity ----------------------------------------------------
+
+
+def test_peeked_bind_matches_literal_selectivity(tiny_db):
+    db = tiny_db
+    literal = db.optimize("SELECT e.emp_id FROM employees e WHERE e.salary > 80")
+    peeked = db.optimize(
+        "SELECT e.emp_id FROM employees e WHERE e.salary > :floor",
+        binds={"floor": 80},
+    )
+    unpeeked = db.optimize("SELECT e.emp_id FROM employees e WHERE e.salary > :floor")
+    assert peeked.plan.cardinality == literal.plan.cardinality
+    assert unpeeked.plan.cardinality != literal.plan.cardinality
+
+
+# -- execution -------------------------------------------------------------
+
+PARAM_QUERIES = [
+    ("SELECT e.emp_id FROM employees e WHERE e.salary > :floor", {"floor": 45}),
+    (
+        "SELECT e.emp_id, e.salary FROM employees e "
+        "WHERE e.dept_id = ? AND e.salary BETWEEN ? AND ?",
+        {"1": 4, "2": 10, "3": 70},
+    ),
+    (
+        "SELECT e.emp_id FROM employees e WHERE e.dept_id IN (:a, :b)",
+        {"a": 2, "b": 7},
+    ),
+    (
+        "SELECT e.emp_id FROM employees e WHERE EXISTS "
+        "(SELECT 1 FROM job_history j "
+        " WHERE j.emp_id = e.emp_id AND j.start_date > :cutoff)",
+        {"cutoff": 60},
+    ),
+]
+
+
+@pytest.mark.parametrize("sql,binds", PARAM_QUERIES)
+def test_bound_execution_matches_reference(sql, binds, tiny_db):
+    db = tiny_db
+    result = db.execute(sql, binds=binds)
+    reference = db.reference_execute(sql, binds=binds)
+    assert sorted(map(repr, result.rows)) == sorted(map(repr, reference))
+
+
+def test_same_plan_different_binds_gives_different_rows(tiny_db):
+    db = tiny_db
+    sql = "SELECT e.emp_id FROM employees e WHERE e.salary > :floor"
+    low = db.execute(sql, binds={"floor": 10})
+    high = db.execute(sql, binds={"floor": 80})
+    assert len(low.rows) > len(high.rows)
+    assert sorted(high.rows) == sorted(db.reference_execute(sql, binds={"floor": 80}))
+
+
+def test_missing_bind_value_raises(tiny_db):
+    db = tiny_db
+    with pytest.raises(ExecutionError, match="no value bound.*:floor"):
+        db.execute("SELECT e.emp_id FROM employees e WHERE e.salary > :floor")
+
+
+def test_null_bind_is_a_valid_value(tiny_db):
+    db = tiny_db
+    sql = "SELECT e.emp_id FROM employees e WHERE e.dept_id = :d"
+    result = db.execute(sql, binds={"d": None})
+    assert result.rows == []

@@ -148,3 +148,68 @@ class TestMetaCommands:
     def test_load_missing_file(self, shell):
         text = feed(shell, ".load /no/such/file.sql")
         assert "error" in text
+
+
+class TestPlanCache:
+    def test_cache_stats_meta(self, shell):
+        feed(shell, SETUP)
+        shell.db.insert("t", [{"id": 1, "v": 10}])
+        feed(shell, "SELECT id FROM t;\nSELECT id FROM t;")
+        text = feed(shell, ".cache stats")
+        assert "plan cache statistics" in text
+        assert shell.service.metrics.hits == 1
+        assert shell.service.metrics.misses == 1
+
+    def test_cache_clear_and_toggle(self, shell):
+        feed(shell, SETUP)
+        feed(shell, "SELECT id FROM t;")
+        text = feed(shell, ".cache clear")
+        assert "plan cache cleared (1 entries)" in text
+        feed(shell, ".cache off")
+        feed(shell, "SELECT id FROM t;\nSELECT id FROM t;")
+        assert shell.service.metrics.hits == 0
+        text = feed(shell, ".cache bogus")
+        assert "usage" in text
+
+    def test_explain_shows_cache_disposition(self, shell):
+        feed(shell, SETUP + ".explain on\n")
+        text = feed(shell, "SELECT id FROM t;\nSELECT id FROM t;")
+        assert "-- cache: miss" in text
+        assert "-- cache: hit" in text
+
+
+class TestSubcommands:
+    def test_cache_stats_subcommand(self, tmp_path, capsys, monkeypatch):
+        import sys
+
+        from repro.cli import main
+
+        script = tmp_path / "setup.sql"
+        script.write_text(SETUP + "SELECT id FROM t;\nSELECT id FROM t;")
+        monkeypatch.setattr(sys.stdin, "isatty", lambda: True, raising=False)
+        assert main(["cache-stats", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "plan cache statistics" in out
+        assert "hits" in out
+
+    def test_explain_subcommand(self, tmp_path, capsys, monkeypatch):
+        import sys
+
+        from repro.cli import main
+
+        script = tmp_path / "setup.sql"
+        script.write_text(SETUP)
+        monkeypatch.setattr(sys.stdin, "isatty", lambda: True, raising=False)
+        assert main(["explain", "SELECT id FROM t", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "-- cache: miss" in out
+        assert "plan cache statistics" in out
+
+    def test_explain_subcommand_usage_and_errors(self, capsys, monkeypatch):
+        import sys
+
+        from repro.cli import main
+
+        monkeypatch.setattr(sys.stdin, "isatty", lambda: True, raising=False)
+        assert main(["explain"]) == 2
+        assert main(["explain", "SELECT x FROM missing"]) == 1
