@@ -1,0 +1,92 @@
+"""Sanitizer overhead: paranoid mode on vs off.
+
+The auditor is wired into the optimizer behind ``if auditor is not
+None`` guards — with ``debug_checks=False`` no verifier object is even
+constructed, so production optimization pays nothing for the existence
+of the sanitizer.  This bench proves both halves of that contract:
+
+* *structurally*: the verifier invocation counters stay at exactly zero
+  across an entire optimized workload when ``debug_checks`` is off —
+  guarded call sites, not pervasive checks;
+* *empirically*: off-mode optimize throughput is reported next to
+  on-mode, showing what paranoia costs when you do opt in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro import OptimizerConfig, PlanVerifier, QTreeVerifier
+
+from conftest import record_report
+
+QUERIES = [
+    "SELECT e.employee_name, e.salary FROM employees e WHERE e.salary > 5000",
+    "SELECT e.employee_name, d.department_name FROM employees e, "
+    "departments d WHERE e.dept_id = d.dept_id AND e.salary > 8000",
+    "SELECT d.department_name, COUNT(*) FROM employees e, departments d "
+    "WHERE e.dept_id = d.dept_id GROUP BY d.department_name",
+    "SELECT e.employee_name FROM employees e WHERE EXISTS "
+    "(SELECT 1 FROM job_history j WHERE j.emp_id = e.emp_id)",
+    "SELECT e.employee_name FROM employees e WHERE e.salary > "
+    "(SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e.dept_id)",
+    "SELECT e.employee_name, d.department_name, l.city "
+    "FROM employees e, departments d, locations l "
+    "WHERE e.dept_id = d.dept_id AND d.loc_id = l.loc_id "
+    "AND l.city = 'City_1'",
+]
+
+ROUNDS = 8
+
+
+def _config(debug_checks: bool) -> OptimizerConfig:
+    base = OptimizerConfig()
+    return replace(base, cbqt=replace(base.cbqt, debug_checks=debug_checks))
+
+
+def _optimize_workload(db, config) -> float:
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        for sql in QUERIES:
+            db.optimize(sql, config)
+    return time.perf_counter() - started
+
+
+def test_debug_checks_off_runs_zero_verifier_calls(hr_db):
+    calls_before = (QTreeVerifier.calls, PlanVerifier.calls)
+    elapsed_off = _optimize_workload(hr_db, _config(False))
+
+    calls_off = (
+        QTreeVerifier.calls - calls_before[0],
+        PlanVerifier.calls - calls_before[1],
+    )
+    elapsed_on = _optimize_workload(hr_db, _config(True))
+    calls_on = (
+        QTreeVerifier.calls - calls_before[0] - calls_off[0],
+        PlanVerifier.calls - calls_before[1] - calls_off[1],
+    )
+
+    optimizations = ROUNDS * len(QUERIES)
+    overhead = (elapsed_on - elapsed_off) / elapsed_off * 100
+    record_report(
+        "sanitizer overhead (debug_checks)",
+        "\n".join([
+            f"{optimizations} optimizations per mode",
+            f"{'mode':>14} {'seconds':>9} {'tree audits':>12} "
+            f"{'plan audits':>12}",
+            f"{'off':>14} {elapsed_off:9.3f} {calls_off[0]:12d} "
+            f"{calls_off[1]:12d}",
+            f"{'on':>14} {elapsed_on:9.3f} {calls_on[0]:12d} "
+            f"{calls_on[1]:12d}",
+            f"paranoia cost: {overhead:+.1f}% optimize time "
+            "(off-mode call sites are `if auditor is not None` guards)",
+        ]),
+    )
+
+    # the zero-overhead contract: with debug_checks off, the sanitizer
+    # is never invoked at all — not merely "cheaply"
+    assert calls_off == (0, 0)
+    # and when on, it really audits every query's pipeline + search
+    assert calls_on[0] >= optimizations
+    assert calls_on[1] >= optimizations

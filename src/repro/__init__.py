@@ -8,17 +8,26 @@ optimizer, cost-annotation reuse, cost cut-off, interleaving and
 juxtaposition of interacting transformations — plus the execution engine
 and workload machinery needed to regenerate the paper's evaluation.
 
-Entry points: :class:`Database`, :class:`OptimizerConfig`, and the
-serving layer :class:`QueryService` / :class:`Session` (bind variables,
-shared plan cache, adaptive cursor sharing).
+Entry points: :class:`Database`, :class:`OptimizerConfig`, the serving
+layer :class:`QueryService` / :class:`Session` (bind variables, shared
+plan cache, adaptive cursor sharing), and the optimizer sanitizer
+(:mod:`repro.analysis`, ``Database.check``, paranoid-mode
+``debug_checks``).
 """
 
+from .analysis import (
+    Diagnostic,
+    DiagnosticReport,
+    PlanVerifier,
+    QTreeVerifier,
+    TransformationAuditor,
+)
 from .cbqt.framework import CbqtConfig, OptimizationReport
 from .database import Database, OptimizedQuery, OptimizerConfig, QueryResult
-from .errors import ReproError
+from .errors import ReproError, VerificationError
 from .service import PlanCache, PreparedStatement, QueryService, Session
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Database",
@@ -31,6 +40,12 @@ __all__ = [
     "PreparedStatement",
     "QueryService",
     "Session",
+    "Diagnostic",
+    "DiagnosticReport",
+    "QTreeVerifier",
+    "PlanVerifier",
+    "TransformationAuditor",
     "ReproError",
+    "VerificationError",
     "__version__",
 ]

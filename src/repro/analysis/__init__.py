@@ -1,0 +1,22 @@
+"""Static analysis over the query-tree IR and physical plans.
+
+The optimizer sanitizer: :class:`QTreeVerifier` checks structural
+invariants of query trees, :class:`PlanVerifier` checks physical-plan
+contracts, and :class:`TransformationAuditor` wires both into every
+transformation step when ``debug_checks`` is on (paranoid mode), blaming
+each violation on the exact rewrite + CBQT state that introduced it.
+"""
+
+from .auditor import TransformationAuditor
+from .diagnostics import Diagnostic, DiagnosticReport, attributed
+from .plan_verifier import PlanVerifier
+from .qtree_verifier import QTreeVerifier
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "PlanVerifier",
+    "QTreeVerifier",
+    "TransformationAuditor",
+    "attributed",
+]

@@ -1,0 +1,106 @@
+"""Structured diagnostics for the optimizer sanitizer.
+
+A :class:`Diagnostic` records one invariant violation: which rule fired,
+where in the query tree or plan, and — when the violation was detected by
+the transformation auditor — which transformation and which CBQT state
+bitvector produced the corrupted artifact.  That attribution is the whole
+point: a broken tree is useless to debug unless you know the exact
+rewrite step that broke it.
+
+Severities:
+
+* ``"error"`` — the artifact violates a hard invariant (dangling
+  reference, mis-typed join, conjunct applied twice); paranoid mode
+  raises :class:`~repro.errors.VerificationError`.
+* ``"warning"`` — suspicious but legal (e.g. a disconnected join graph,
+  which a genuine cross join also produces); reported, never raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One invariant violation found by a verifier."""
+
+    #: rule identifier, e.g. ``"qtree.column-resolution"``
+    rule: str
+    severity: str
+    message: str
+    #: name of the query block / plan operator the violation anchors to
+    node: str = ""
+    #: transformation that produced the checked artifact (auditor only)
+    transformation: Optional[str] = None
+    #: CBQT state bitvector being explored when the violation appeared
+    state: Optional[tuple[int, ...]] = None
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def format(self) -> str:
+        where = f" at {self.node}" if self.node else ""
+        blame = ""
+        if self.transformation:
+            blame = f" [after {self.transformation}"
+            if self.state is not None:
+                blame += f" state={''.join(map(str, self.state))}"
+            blame += "]"
+        return f"{self.severity}: {self.rule}{where}: {self.message}{blame}"
+
+
+@dataclass
+class DiagnosticReport:
+    """A batch of diagnostics from one verification run."""
+
+    context: str = ""
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.is_error]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if not d.is_error]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def extend(self, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def format(self) -> str:
+        if not self.diagnostics:
+            return f"{self.context or 'check'}: ok (no violations)"
+        lines = [
+            f"{self.context or 'check'}: {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)"
+        ]
+        lines.extend(d.format() for d in self.diagnostics)
+        return "\n".join(lines)
+
+
+def attributed(
+    diagnostics: list[Diagnostic],
+    transformation: Optional[str],
+    state: Optional[tuple[int, ...]] = None,
+) -> list[Diagnostic]:
+    """Copies of *diagnostics* attributed to a transformation + state."""
+    if transformation is None and state is None:
+        return diagnostics
+    return [
+        Diagnostic(
+            d.rule, d.severity, d.message, d.node,
+            transformation=transformation
+            if d.transformation is None else d.transformation,
+            state=state if d.state is None else d.state,
+        )
+        for d in diagnostics
+    ]

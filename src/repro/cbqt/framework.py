@@ -25,10 +25,12 @@ pullup, set-op conversion, OR expansion, join factorization) are skipped.
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..analysis import Diagnostic, TransformationAuditor
 from ..catalog.schema import Catalog
 from ..errors import OptimizerError, TransformError
 from ..optimizer.physical import CostBudgetExceeded, PhysicalOptimizer
@@ -47,6 +49,14 @@ from ..transform.pipeline import build_cost_based_transformations
 from .search import STRATEGIES, SearchResult, choose_strategy
 
 ApplyFn = Callable[[QueryNode], QueryNode]
+
+
+def _env_debug_checks() -> bool:
+    """Paranoid-mode default, from ``REPRO_DEBUG_CHECKS`` (the test suite
+    sets it so every transform application runs under the sanitizer)."""
+    return os.environ.get("REPRO_DEBUG_CHECKS", "").lower() in (
+        "1", "true", "on", "yes",
+    )
 
 
 @dataclass
@@ -71,6 +81,10 @@ class CbqtConfig:
     #: juxtapose view merging with JPPD (§3.3.2)
     juxtaposition: bool = True
     seed: int = 0
+    #: paranoid mode: run the query-tree and plan verifiers around every
+    #: transformation step and CBQT search state, raising
+    #: :class:`~repro.errors.VerificationError` on any violation
+    debug_checks: bool = field(default_factory=_env_debug_checks)
 
 
 @dataclass
@@ -120,6 +134,9 @@ class OptimizationReport:
     heuristic_mode: bool = False
     elapsed_seconds: float = 0.0
     final_cost: float = 0.0
+    #: sanitizer findings (warnings in paranoid mode, everything when
+    #: auditing without raising — the ``check`` subcommand's path)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
 
     def decision_for(self, name: str) -> Optional[TransformationDecision]:
         for decision in self.decisions:
@@ -138,10 +155,16 @@ class CbqtFramework:
         catalog: Catalog,
         physical: PhysicalOptimizer,
         config: Optional[CbqtConfig] = None,
+        auditor: Optional[TransformationAuditor] = None,
     ):
         self._catalog = catalog
         self._physical = physical
         self.config = config or CbqtConfig()
+        if auditor is None and self.config.debug_checks:
+            auditor = TransformationAuditor(catalog)
+        #: None unless paranoid mode — every call site is guarded on it,
+        #: so debug_checks=False costs nothing on the optimize path
+        self._auditor = auditor
 
     # -- public ---------------------------------------------------------------
 
@@ -150,6 +173,10 @@ class CbqtFramework:
         report = OptimizationReport(heuristic_mode=not config.enabled)
         started = time.perf_counter()
         self._physical.annotations.clear()
+
+        auditor = self._auditor
+        if auditor is not None:
+            auditor.audit_tree(root, "input")
 
         root = self._heuristic_phase(root)
 
@@ -169,6 +196,10 @@ class CbqtFramework:
             root = self._heuristic_fallbacks(root, transformations, report)
 
         plan = self._physical.optimize(root)
+        if auditor is not None:
+            auditor.audit_tree(root, "final")
+            auditor.audit_plan(plan, "final")
+            report.diagnostics = list(auditor.report.diagnostics)
         report.transformed_sql = root.to_sql()
         report.final_cost = plan.cost
         report.elapsed_seconds = time.perf_counter() - started
@@ -185,7 +216,9 @@ class CbqtFramework:
                 cls.name for cls in HEURISTIC_ORDER
                 if cls.name not in self.config.disabled_transformations
             }
-        return apply_heuristic_phase(root, self._catalog, enabled)
+        return apply_heuristic_phase(
+            root, self._catalog, enabled, auditor=self._auditor
+        )
 
     def _run_cost_based(
         self,
@@ -206,7 +239,7 @@ class CbqtFramework:
             config.linear_threshold,
             config.two_pass_total_threshold,
         )
-        result = self._search(strategy_name, objects, root)
+        result = self._search(strategy_name, objects, root, transformation.name)
 
         decision = TransformationDecision(
             transformation=transformation.name,
@@ -224,7 +257,7 @@ class CbqtFramework:
         report.total_states += result.states_evaluated
 
         if any(result.best_state):
-            root = self._apply_state(root, objects, result.best_state)
+            root = self._apply_state(root, objects, result.best_state, audit=True)
             decision.applied_labels = [
                 objects[i].alternatives[alt].label
                 for i, alt in enumerate(result.best_state)
@@ -236,7 +269,11 @@ class CbqtFramework:
         return root
 
     def _search(
-        self, strategy_name: str, objects: list[TransformObject], root: QueryNode
+        self,
+        strategy_name: str,
+        objects: list[TransformObject],
+        root: QueryNode,
+        transformation_name: str,
     ) -> SearchResult:
         config = self.config
         best_so_far = [math.inf]
@@ -247,11 +284,18 @@ class CbqtFramework:
                 if config.cost_cutoff and math.isfinite(best_so_far[0])
                 else None
             )
+            # VerificationError deliberately escapes this net: a state
+            # whose rewrite corrupted the tree must abort the search, not
+            # be silently costed at infinity.
             try:
-                candidate = self._apply_state(root.clone(), objects, state)
+                candidate = self._apply_state(
+                    root.clone(), objects, state, audit=True
+                )
                 plan = self._physical.optimize(candidate, budget)
             except (TransformError, CostBudgetExceeded, OptimizerError):
                 return math.inf
+            if self._auditor is not None:
+                self._auditor.audit_plan(plan, transformation_name, state)
             if plan.cost < best_so_far[0]:
                 best_so_far[0] = plan.cost
             return plan.cost
@@ -268,9 +312,12 @@ class CbqtFramework:
             )
         return strategy(alternatives, cost_fn)
 
-    @staticmethod
     def _apply_state(
-        root: QueryNode, objects: list[TransformObject], state: tuple[int, ...]
+        self,
+        root: QueryNode,
+        objects: list[TransformObject],
+        state: tuple[int, ...],
+        audit: bool = False,
     ) -> QueryNode:
         chosen = [
             (obj, alt) for obj, alt in zip(objects, state) if alt
@@ -279,9 +326,12 @@ class CbqtFramework:
         # deletions do not shift later targets.
         chosen.sort(key=lambda pair: pair[0].order_key, reverse=True)
         for obj, alt in chosen:
-            apply_fn = obj.alternatives[alt].apply
-            assert apply_fn is not None
-            root = apply_fn(root)
+            alternative = obj.alternatives[alt]
+            assert alternative.apply is not None
+            root = alternative.apply(root)
+            if audit and self._auditor is not None:
+                # blame the exact alternative and state bitvector
+                self._auditor.audit_tree(root, alternative.label, state)
         return root
 
     # -- object/alternative construction -----------------------------------------
@@ -414,6 +464,8 @@ class CbqtFramework:
                 continue
             if pre10g_heuristic_says_unnest(block, sub_block, self._catalog):
                 root = transformation.apply(root, target)
+                if self._auditor is not None:
+                    self._auditor.audit_tree(root, transformation.name)
                 applied.append(target.describe())
         if applied:
             report.decisions.append(
@@ -438,6 +490,8 @@ class CbqtFramework:
             if not targets:
                 break
             root = transformation.apply(root, targets[0])
+            if self._auditor is not None:
+                self._auditor.audit_tree(root, transformation.name)
             applied.append(targets[0].describe())
         if applied:
             report.decisions.append(
@@ -466,6 +520,8 @@ class CbqtFramework:
             if not self._jppd_index_motivated(item):
                 continue
             root = transformation.apply(root, target)
+            if self._auditor is not None:
+                self._auditor.audit_tree(root, transformation.name)
             applied.append(target.describe())
         if applied:
             report.decisions.append(

@@ -15,15 +15,21 @@ INDEX / SELECT), the shell understands meta commands:
 .enable NAME          re-enable a transformation
 .timing on|off        print optimization/execution timings
 .cache [stats|clear|on|off]  plan-cache statistics / control
+.checks on|off        paranoid mode: verify tree/plan invariants at
+                      every transformation step (debug_checks)
 .load FILE            run statements from a SQL script
 .quit                 exit
 
 Queries run through the shared plan cache (:class:`repro.QueryService`);
 ``.explain on`` output shows each statement's cache disposition.  The
 module also provides subcommands: ``python -m repro cache-stats
-[script ...]`` runs the scripts and prints the plan-cache counters, and
+[script ...]`` runs the scripts and prints the plan-cache counters,
 ``python -m repro explain "SQL" [script ...]`` explains one query
-(including cache counters) after running the scripts.
+(including cache counters) after running the scripts, and ``python -m
+repro check "SQL" [script ...]`` runs the optimizer sanitizer over the
+query, printing every invariant violation attributed to the
+transformation + CBQT state that produced it (exit status 1 if any
+errors are found).
 """
 
 from __future__ import annotations
@@ -113,6 +119,8 @@ class Shell:
             self.echo(f"-- cache: {result.cache_status}")
             self.echo("-- transformed: " + result.report.transformed_sql)
             self.echo(result.plan.describe())
+            for diagnostic in result.report.diagnostics:
+                self.echo(f"-- check: {diagnostic.format()}")
         if self.show_decisions:
             for decision in result.report.decisions:
                 self.echo(
@@ -270,6 +278,15 @@ class Shell:
         )
         self.echo(f"disabled: {', '.join(sorted(remaining)) or '(none)'}")
 
+    def _meta_checks(self, args) -> None:
+        enabled = _on_off(args)
+        self.db.config = replace(
+            self.db.config,
+            cbqt=replace(self.db.config.cbqt, debug_checks=enabled),
+        )
+        self.service.invalidate()  # cached plans were not audited
+        self.echo(f"debug checks {'on' if enabled else 'off'}")
+
     def _meta_load(self, args) -> None:
         if not args:
             self.echo("usage: .load FILE")
@@ -321,8 +338,29 @@ def _cmd_explain(args: list[str], shell: Shell) -> int:
     return 0
 
 
+def _cmd_check(args: list[str], shell: Shell) -> int:
+    """``repro check "SQL" [script ...]`` — run the scripts (schema /
+    data setup), then audit the query through the sanitizer and print
+    the diagnostic report.  Exit 1 when errors were found."""
+    if not args:
+        shell.echo('usage: check "SQL" [script ...]')
+        return 2
+    sql, scripts = args[0], args[1:]
+    for path in scripts:
+        with open(path) as handle:
+            shell.run_script(handle.read())
+    try:
+        report = shell.db.check(sql)
+    except ReproError as exc:
+        shell.echo(f"error: {exc}")
+        return 1
+    shell.echo(report.format())
+    return 0 if report.ok else 1
+
+
 SUBCOMMANDS = {
     "cache-stats": _cmd_cache_stats,
+    "check": _cmd_check,
     "explain": _cmd_explain,
 }
 

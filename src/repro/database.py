@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional
 
+from .analysis import DiagnosticReport, TransformationAuditor
 from .catalog.schema import Catalog, Index, TableDef
 from .catalog.statistics import StatisticsRegistry, collect_statistics
 from .cbqt.caching import DynamicSamplingCache
@@ -98,9 +99,12 @@ class OptimizedQuery:
         return self.plan.cost
 
     def explain(self) -> str:
-        return (
-            f"-- transformed: {self.transformed_sql}\n{self.plan.describe()}"
-        )
+        lines = [f"-- transformed: {self.transformed_sql}"]
+        # paranoid-mode findings (errors raise before we get here, so
+        # anything surviving into the report is a warning)
+        lines.extend(f"-- check: {d.format()}" for d in self.report.diagnostics)
+        lines.append(self.plan.describe())
+        return "\n".join(lines)
 
 
 @dataclass
@@ -262,6 +266,29 @@ class Database:
     def explain(self, sql: str, config: Optional[OptimizerConfig] = None) -> str:
         """EXPLAIN-style output: transformed SQL + the operator tree."""
         return self.optimize(sql, config).explain()
+
+    def check(
+        self, sql: str, config: Optional[OptimizerConfig] = None
+    ) -> DiagnosticReport:
+        """Run the optimizer sanitizer over one query and report.
+
+        Optimizes *sql* with the verifiers wired into every
+        transformation step (regardless of ``debug_checks``), but in
+        reporting mode: violations are collected into the returned
+        :class:`~repro.analysis.DiagnosticReport` — attributed to the
+        transformation and CBQT state that produced them — instead of
+        raising."""
+        config = config or self.config
+        auditor = TransformationAuditor(
+            self.catalog, raise_on_error=False, context=sql
+        )
+        tree = self.parse(sql)
+        physical = self._physical(config)
+        framework = CbqtFramework(
+            self.catalog, physical, config.cbqt, auditor=auditor
+        )
+        framework.optimize(tree)
+        return auditor.report
 
     def execute_plan(
         self,

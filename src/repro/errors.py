@@ -53,5 +53,21 @@ class ExecutionError(ReproError):
     """A runtime failure while executing a physical plan."""
 
 
+class VerificationError(ReproError):
+    """The sanitizer found an invariant violation in a query tree or
+    physical plan (paranoid mode only).
+
+    Deliberately a direct :class:`ReproError` subclass: the CBQT search
+    treats :class:`TransformError` / :class:`OptimizerError` as "state is
+    infeasible, cost it at infinity" — a verification failure must escape
+    that net and abort loudly instead of being silently costed away.
+    """
+
+    def __init__(self, message: str, diagnostics=None):
+        super().__init__(message)
+        #: the :class:`repro.analysis.Diagnostic` list that triggered this
+        self.diagnostics = list(diagnostics or [])
+
+
 class UnsupportedError(ReproError):
     """A SQL construct outside the implemented subset was encountered."""

@@ -18,9 +18,14 @@ created new SPJ views.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from ..catalog.schema import Catalog
 from ..qtree.blocks import QueryNode
 from .base import Transformation, apply_everywhere
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..analysis import TransformationAuditor
 from .costbased import (
     GroupByPlacement,
     GroupByViewMerging,
@@ -76,10 +81,14 @@ def apply_heuristic_phase(
     catalog: Catalog,
     enabled: set[str] | None = None,
     rounds: int = 4,
+    auditor: "Optional[TransformationAuditor]" = None,
 ) -> QueryNode:
     """Run the heuristic transformations to a fixpoint.
 
     *enabled* restricts to the named transformations (None = all).
+    When an *auditor* is given (paranoid mode), the query tree is
+    re-verified after every transformation that rewrote it, so a
+    violation is blamed on the exact heuristic rule that introduced it.
     """
     transformations = [
         t for t in build_heuristic_transformations(catalog)
@@ -92,6 +101,8 @@ def apply_heuristic_phase(
             if targets:
                 root = apply_everywhere(transformation, root)
                 changed = True
+                if auditor is not None:
+                    auditor.audit_tree(root, transformation.name)
         if not changed:
             break
     return root

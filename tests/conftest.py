@@ -9,7 +9,13 @@ rebuilt per test, for tests that mutate data or need exact contents.
 
 from __future__ import annotations
 
+import os
 import random
+
+# Paranoid mode for the whole suite: every transform application in every
+# test runs under the sanitizer (repro.analysis); an invariant violation
+# raises VerificationError instead of silently corrupting plans.
+os.environ.setdefault("REPRO_DEBUG_CHECKS", "1")
 
 import pytest
 
