@@ -1,0 +1,115 @@
+"""Resilience-layer idle overhead: the safeguards must be free when idle.
+
+The layer's hooks sit on the hottest paths in the engine — every
+transformation application, every costed search state, every executor
+row loop, every plan-cache operation.  The design keeps each hook to a
+single global load (fault injection disarmed) or an ``is None`` test
+(no cancel token, no governor), so an untroubled statement pays nothing
+measurable.  This bench proves both halves of that contract:
+
+* *structurally*: an entire optimize+execute workload with no timeout,
+  no token, and no armed faults constructs **zero** governors and zero
+  cancel tokens — guarded construction, not pervasive machinery;
+* *empirically*: throughput with the resilience layer idle is within 2%
+  of the same workload with the ladder disabled outright (min-of-N
+  timing to shed scheduler noise).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro import Database, OptimizerConfig, ResilienceConfig, SearchGovernor
+from repro.resilience import CancelToken, faults
+
+from conftest import record_report
+
+QUERIES = [
+    "SELECT e.employee_name, e.salary FROM employees e WHERE e.salary > 5000",
+    "SELECT e.employee_name, d.department_name FROM employees e, "
+    "departments d WHERE e.dept_id = d.dept_id AND e.salary > 8000",
+    "SELECT d.department_name, COUNT(*) FROM employees e, departments d "
+    "WHERE e.dept_id = d.dept_id GROUP BY d.department_name",
+    "SELECT e.employee_name FROM employees e WHERE EXISTS "
+    "(SELECT 1 FROM job_history j WHERE j.emp_id = e.emp_id)",
+    "SELECT e.employee_name FROM employees e WHERE e.salary > "
+    "(SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e.dept_id)",
+]
+
+ROUNDS = 4
+REPEATS = 9
+TOLERANCE_PERCENT = 2.0
+
+
+def _sweep(db: Database, config: OptimizerConfig) -> float:
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        for sql in QUERIES:
+            db.execute(sql, config)
+    return time.perf_counter() - started
+
+
+def _measure_overhead(db, ladder_off, ladder_on, repeats) -> tuple[float, float, float]:
+    """Median of paired, interleaved relative deltas: each off-sweep is
+    immediately followed by an on-sweep, so clock-frequency drift and
+    cache warmth hit both variants equally."""
+    deltas, off_times, on_times = [], [], []
+    for _ in range(repeats):
+        off = _sweep(db, ladder_off)
+        on = _sweep(db, ladder_on)
+        off_times.append(off)
+        on_times.append(on)
+        deltas.append((on - off) / off * 100)
+    return (
+        statistics.median(deltas),
+        statistics.median(off_times),
+        statistics.median(on_times),
+    )
+
+
+def test_idle_resilience_layer_costs_nothing(hr_db):
+    assert faults.active() is None, "bench requires a disarmed harness"
+    ladder_on = OptimizerConfig(resilience=ResilienceConfig(fallback=True))
+    ladder_off = OptimizerConfig(resilience=ResilienceConfig(fallback=False))
+
+    _sweep(hr_db, ladder_off)  # warm caches for both variants
+    _sweep(hr_db, ladder_on)
+
+    governors_before = SearchGovernor.created
+    tokens_before = CancelToken.created
+    overhead, elapsed_off, elapsed_on = _measure_overhead(
+        hr_db, ladder_off, ladder_on, REPEATS
+    )
+    if overhead >= TOLERANCE_PERCENT:
+        # confirmation pass before failing a perf gate on one noisy sample
+        overhead, elapsed_off, elapsed_on = _measure_overhead(
+            hr_db, ladder_off, ladder_on, REPEATS * 2
+        )
+
+    # the structural contract: an idle run constructs no machinery
+    assert SearchGovernor.created == governors_before
+    assert CancelToken.created == tokens_before
+
+    executions = ROUNDS * len(QUERIES)
+    record_report(
+        "resilience idle overhead",
+        "\n".join([
+            f"{executions} optimize+execute statements per sweep, "
+            f"median of >= {REPEATS} interleaved sweep pairs",
+            f"{'variant':>16} {'seconds':>9}",
+            f"{'ladder off':>16} {elapsed_off:9.3f}",
+            f"{'ladder idle':>16} {elapsed_on:9.3f}",
+            f"idle cost: {overhead:+.1f}% "
+            f"(tolerance {TOLERANCE_PERCENT:.0f}%; hooks are a global "
+            "load / `is None` test when disarmed)",
+            f"governors constructed: "
+            f"{SearchGovernor.created - governors_before}, "
+            f"cancel tokens: {CancelToken.created - tokens_before}",
+        ]),
+    )
+
+    assert overhead < TOLERANCE_PERCENT, (
+        f"idle resilience overhead {overhead:.2f}% exceeds "
+        f"{TOLERANCE_PERCENT}%"
+    )

@@ -24,10 +24,27 @@ from .analysis import (
 )
 from .cbqt.framework import CbqtConfig, OptimizationReport
 from .database import Database, OptimizedQuery, OptimizerConfig, QueryResult
-from .errors import ReproError, VerificationError
-from .service import PlanCache, PreparedStatement, QueryService, Session
+from .errors import (
+    FaultInjected,
+    ReproError,
+    StatementCancelled,
+    StatementTimeout,
+    VerificationError,
+)
+from .resilience import (
+    CancelToken,
+    DegradationInfo,
+    FaultInjector,
+    FaultSpec,
+    QuarantineRegistry,
+    ResilienceConfig,
+    SearchGovernor,
+    inject,
+    injection_points,
+)
+from .service import Cursor, PlanCache, PreparedStatement, QueryService, Session
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Database",
@@ -40,6 +57,7 @@ __all__ = [
     "PreparedStatement",
     "QueryService",
     "Session",
+    "Cursor",
     "Diagnostic",
     "DiagnosticReport",
     "QTreeVerifier",
@@ -47,5 +65,17 @@ __all__ = [
     "TransformationAuditor",
     "ReproError",
     "VerificationError",
+    "StatementTimeout",
+    "StatementCancelled",
+    "FaultInjected",
+    "ResilienceConfig",
+    "DegradationInfo",
+    "CancelToken",
+    "SearchGovernor",
+    "QuarantineRegistry",
+    "FaultInjector",
+    "FaultSpec",
+    "inject",
+    "injection_points",
     "__version__",
 ]

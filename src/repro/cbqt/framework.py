@@ -36,6 +36,13 @@ from ..errors import OptimizerError, TransformError
 from ..optimizer.physical import CostBudgetExceeded, PhysicalOptimizer
 from ..optimizer.plans import Plan
 from ..qtree.blocks import QueryBlock, QueryNode
+from ..resilience import (
+    DegradationInfo,
+    GovernorStats,
+    SearchGovernor,
+    blame,
+    faults,
+)
 from ..sql import ast
 from ..transform import apply_heuristic_phase
 from ..transform.base import TargetRef, Transformation, find_block
@@ -137,6 +144,14 @@ class OptimizationReport:
     #: sanitizer findings (warnings in paranoid mode, everything when
     #: auditing without raising — the ``check`` subcommand's path)
     diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: set by the degradation ladder when this plan was produced via
+    #: fallback (level, blamed transformations, reason)
+    degradation: Optional[DegradationInfo] = None
+    #: transformations skipped because the quarantine registry disabled
+    #: them for this statement
+    quarantined: list[str] = field(default_factory=list)
+    #: search-governor accounting (None when no governor was armed)
+    governor: Optional[GovernorStats] = None
 
     def decision_for(self, name: str) -> Optional[TransformationDecision]:
         for decision in self.decisions:
@@ -156,6 +171,7 @@ class CbqtFramework:
         physical: PhysicalOptimizer,
         config: Optional[CbqtConfig] = None,
         auditor: Optional[TransformationAuditor] = None,
+        governor: Optional[SearchGovernor] = None,
     ):
         self._catalog = catalog
         self._physical = physical
@@ -165,6 +181,9 @@ class CbqtFramework:
         #: None unless paranoid mode — every call site is guarded on it,
         #: so debug_checks=False costs nothing on the optimize path
         self._auditor = auditor
+        #: None unless a deadline/state budget/cancel token is armed —
+        #: the idle search path pays one ``is None`` test per state
+        self._governor = governor
 
     # -- public ---------------------------------------------------------------
 
@@ -200,6 +219,8 @@ class CbqtFramework:
             auditor.audit_tree(root, "final")
             auditor.audit_plan(plan, "final")
             report.diagnostics = list(auditor.report.diagnostics)
+        if self._governor is not None:
+            report.governor = self._governor.stats()
         report.transformed_sql = root.to_sql()
         report.final_cost = plan.cost
         report.elapsed_seconds = time.perf_counter() - started
@@ -239,7 +260,14 @@ class CbqtFramework:
             config.linear_threshold,
             config.two_pass_total_threshold,
         )
-        result = self._search(strategy_name, objects, root, transformation.name)
+        # Anything escaping the search's infeasible-state net (injected
+        # faults, verifier violations, costing bugs) is attributed to
+        # this transformation for the ladder/quarantine, unless an inner
+        # blame() already pinned a more specific culprit.
+        with blame(transformation.name):
+            result = self._search(
+                strategy_name, objects, root, transformation.name
+            )
 
         decision = TransformationDecision(
             transformation=transformation.name,
@@ -276,9 +304,16 @@ class CbqtFramework:
         transformation_name: str,
     ) -> SearchResult:
         config = self.config
+        governor = self._governor
         best_so_far = [math.inf]
 
         def cost_fn(state: tuple[int, ...]) -> float:
+            # Governor first: once the deadline or state budget is gone,
+            # every remaining state is refused and the strategies drain
+            # with the best-so-far incumbent (cancel tokens raise here).
+            if governor is not None and not governor.admit():
+                return math.inf
+            faults.check("cbqt.costing")
             budget = (
                 best_so_far[0]
                 if config.cost_cutoff and math.isfinite(best_so_far[0])
@@ -286,7 +321,9 @@ class CbqtFramework:
             )
             # VerificationError deliberately escapes this net: a state
             # whose rewrite corrupted the tree must abort the search, not
-            # be silently costed at infinity.
+            # be silently costed at infinity.  So does everything that is
+            # not plain state infeasibility (FaultInjected, timeouts) —
+            # the degradation ladder, not this net, handles those.
             try:
                 candidate = self._apply_state(
                     root.clone(), objects, state, audit=True
@@ -328,10 +365,16 @@ class CbqtFramework:
         for obj, alt in chosen:
             alternative = obj.alternatives[alt]
             assert alternative.apply is not None
-            root = alternative.apply(root)
-            if audit and self._auditor is not None:
-                # blame the exact alternative and state bitvector
-                self._auditor.audit_tree(root, alternative.label, state)
+            # label "unnest_view+groupby_merge(subquery[0]@qb$1)" →
+            # injection points transform.unnest_view, transform.groupby_merge
+            names = alternative.label.split("(", 1)[0].split("+")
+            with blame(names[0]):
+                for name in names:
+                    faults.check(f"transform.{name}")
+                root = alternative.apply(root)
+                if audit and self._auditor is not None:
+                    # blame the exact alternative and state bitvector
+                    self._auditor.audit_tree(root, alternative.label, state)
         return root
 
     # -- object/alternative construction -----------------------------------------
@@ -463,9 +506,11 @@ class CbqtFramework:
             if sub_block is None:
                 continue
             if pre10g_heuristic_says_unnest(block, sub_block, self._catalog):
-                root = transformation.apply(root, target)
-                if self._auditor is not None:
-                    self._auditor.audit_tree(root, transformation.name)
+                with blame(transformation.name):
+                    faults.check(f"transform.{transformation.name}")
+                    root = transformation.apply(root, target)
+                    if self._auditor is not None:
+                        self._auditor.audit_tree(root, transformation.name)
                 applied.append(target.describe())
         if applied:
             report.decisions.append(
@@ -489,9 +534,11 @@ class CbqtFramework:
             targets = transformation.find_targets(root)
             if not targets:
                 break
-            root = transformation.apply(root, targets[0])
-            if self._auditor is not None:
-                self._auditor.audit_tree(root, transformation.name)
+            with blame(transformation.name):
+                faults.check(f"transform.{transformation.name}")
+                root = transformation.apply(root, targets[0])
+                if self._auditor is not None:
+                    self._auditor.audit_tree(root, transformation.name)
             applied.append(targets[0].describe())
         if applied:
             report.decisions.append(
@@ -519,9 +566,11 @@ class CbqtFramework:
             item = block.from_item(str(target.key))
             if not self._jppd_index_motivated(item):
                 continue
-            root = transformation.apply(root, target)
-            if self._auditor is not None:
-                self._auditor.audit_tree(root, transformation.name)
+            with blame(transformation.name):
+                faults.check(f"transform.{transformation.name}")
+                root = transformation.apply(root, target)
+                if self._auditor is not None:
+                    self._auditor.audit_tree(root, transformation.name)
             applied.append(target.describe())
         if applied:
             report.decisions.append(

@@ -17,6 +17,10 @@ INDEX / SELECT), the shell understands meta commands:
 .cache [stats|clear|on|off]  plan-cache statistics / control
 .checks on|off        paranoid mode: verify tree/plan invariants at
                       every transformation step (debug_checks)
+.quarantine [stats|reset [NAME]]  show or reset the transformation
+                      quarantine (repeatedly failing transformations
+                      are auto-disabled until reset)
+.timeout SECONDS|off  statement timeout for subsequent queries
 .load FILE            run statements from a SQL script
 .quit                 exit
 
@@ -25,11 +29,13 @@ Queries run through the shared plan cache (:class:`repro.QueryService`);
 module also provides subcommands: ``python -m repro cache-stats
 [script ...]`` runs the scripts and prints the plan-cache counters,
 ``python -m repro explain "SQL" [script ...]`` explains one query
-(including cache counters) after running the scripts, and ``python -m
+(including cache counters) after running the scripts, ``python -m
 repro check "SQL" [script ...]`` runs the optimizer sanitizer over the
 query, printing every invariant violation attributed to the
 transformation + CBQT state that produced it (exit status 1 if any
-errors are found).
+errors are found), and ``python -m repro quarantine [stats|reset
+[NAME]] [script ...]`` inspects or resets the transformation
+quarantine after running the scripts.
 """
 
 from __future__ import annotations
@@ -57,6 +63,7 @@ class Shell:
         self.show_explain = False
         self.show_decisions = False
         self.show_timing = False
+        self.timeout: Optional[float] = None
         self._buffer: list[str] = []
         self.done = False
 
@@ -114,10 +121,16 @@ class Shell:
             self.echo(f"error: {exc}")
 
     def _run_query(self, sql: str) -> None:
-        result = self.service.execute(sql)
+        result = self.service.execute(sql, timeout=self.timeout)
         if self.show_explain:
             self.echo(f"-- cache: {result.cache_status}")
             self.echo("-- transformed: " + result.report.transformed_sql)
+            if result.report.degradation is not None:
+                self.echo(f"-- degraded: {result.report.degradation.describe()}")
+            if result.report.quarantined:
+                self.echo(
+                    f"-- quarantined: {', '.join(result.report.quarantined)}"
+                )
             self.echo(result.plan.describe())
             for diagnostic in result.report.diagnostics:
                 self.echo(f"-- check: {diagnostic.format()}")
@@ -287,6 +300,41 @@ class Shell:
         self.service.invalidate()  # cached plans were not audited
         self.echo(f"debug checks {'on' if enabled else 'off'}")
 
+    def _meta_quarantine(self, args) -> None:
+        action = args[0].lower() if args else "stats"
+        if action == "stats":
+            self.echo(self.db.quarantine.format_table())
+        elif action == "reset":
+            name = args[1] if len(args) > 1 else None
+            self.db.quarantine.reset(name)
+            target = name or "all transformations"
+            self.echo(f"quarantine reset: {target}")
+        else:
+            self.echo("usage: .quarantine [stats|reset [NAME]]")
+
+    def _meta_timeout(self, args) -> None:
+        if not args:
+            current = self.timeout
+            self.echo(
+                f"timeout {current:.3f}s" if current is not None
+                else "timeout off"
+            )
+            return
+        if args[0].lower() in ("off", "none", "0"):
+            self.timeout = None
+            self.echo("timeout off")
+            return
+        try:
+            seconds = float(args[0])
+        except ValueError:
+            self.echo("usage: .timeout SECONDS|off")
+            return
+        if seconds <= 0:
+            self.echo("usage: .timeout SECONDS|off")
+            return
+        self.timeout = seconds
+        self.echo(f"timeout {seconds:.3f}s")
+
     def _meta_load(self, args) -> None:
         if not args:
             self.echo("usage: .load FILE")
@@ -358,10 +406,33 @@ def _cmd_check(args: list[str], shell: Shell) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_quarantine(args: list[str], shell: Shell) -> int:
+    """``repro quarantine [stats|reset [NAME]] [script ...]`` — run the
+    scripts, then inspect or reset the transformation quarantine."""
+    action = args[0].lower() if args else "stats"
+    if action not in ("stats", "reset"):
+        shell.echo("usage: quarantine [stats|reset [NAME]] [script ...]")
+        return 2
+    rest = args[1:]
+    name = None
+    if action == "reset" and rest and not rest[0].endswith(".sql"):
+        name, rest = rest[0], rest[1:]
+    for path in rest:
+        with open(path) as handle:
+            shell.run_script(handle.read())
+    if action == "reset":
+        shell.db.quarantine.reset(name)
+        shell.echo(f"quarantine reset: {name or 'all transformations'}")
+        return 0
+    shell.echo(shell.db.quarantine.format_table())
+    return 0
+
+
 SUBCOMMANDS = {
     "cache-stats": _cmd_cache_stats,
     "check": _cmd_check,
     "explain": _cmd_explain,
+    "quarantine": _cmd_quarantine,
 }
 
 

@@ -30,7 +30,12 @@ from .engine.executor import ExecStats, Executor
 from .engine.expressions import FunctionRegistry
 from .engine.reference import ReferenceEvaluator
 from .engine.tables import Storage
-from .errors import CatalogError
+from .errors import (
+    CatalogError,
+    ReproError,
+    StatementCancelled,
+    StatementTimeout,
+)
 from .optimizer.annotations import AnnotationStore
 from .optimizer.costmodel import DEFAULT_COST_MODEL, CostModel
 from .optimizer.physical import OptimizerCounters, PhysicalOptimizer
@@ -38,7 +43,30 @@ from .optimizer.plans import Plan
 from .qtree import build_query_tree
 from .qtree.binds import apply_peeks
 from .qtree.blocks import QueryNode
+from .resilience import (
+    CancelToken,
+    DegradationInfo,
+    QuarantineRegistry,
+    ResilienceConfig,
+    SearchGovernor,
+    activate,
+)
 from .sql import ast, parse_query, parse_statement
+
+_TRANSFORMATION_NAMES: Optional[frozenset] = None
+
+
+def _all_transformation_names() -> frozenset:
+    """Every registered transformation name (computed once; the ladder
+    consults this on each optimize call)."""
+    global _TRANSFORMATION_NAMES
+    if _TRANSFORMATION_NAMES is None:
+        from .transform.pipeline import COST_BASED_ORDER, HEURISTIC_ORDER
+
+        _TRANSFORMATION_NAMES = frozenset(
+            cls.name for cls in HEURISTIC_ORDER + COST_BASED_ORDER
+        )
+    return _TRANSFORMATION_NAMES
 
 
 @dataclass
@@ -54,6 +82,8 @@ class OptimizerConfig:
     """
 
     cbqt: CbqtConfig = field(default_factory=CbqtConfig)
+    #: resilience layer: degradation ladder, search governor, quarantine
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     cost_model: CostModel = DEFAULT_COST_MODEL
     #: reuse of query sub-tree cost annotations (§3.4.2)
     annotation_reuse: bool = True
@@ -100,9 +130,16 @@ class OptimizedQuery:
 
     def explain(self) -> str:
         lines = [f"-- transformed: {self.transformed_sql}"]
+        report = self.report
+        if report.degradation is not None:
+            lines.append(f"-- degraded: {report.degradation.describe()}")
+        if report.quarantined:
+            lines.append(f"-- quarantined: {', '.join(report.quarantined)}")
+        if report.governor is not None and report.governor.exhausted:
+            lines.append(f"-- governor: {report.governor.describe()}")
         # paranoid-mode findings (errors raise before we get here, so
         # anything surviving into the report is a warning)
-        lines.extend(f"-- check: {d.format()}" for d in self.report.diagnostics)
+        lines.extend(f"-- check: {d.format()}" for d in report.diagnostics)
         lines.append(self.plan.describe())
         return "\n".join(lines)
 
@@ -156,6 +193,12 @@ class Database:
         self.statistics = StatisticsRegistry()
         self.functions = FunctionRegistry()
         self._sampling_cache = DynamicSamplingCache(self.storage, self.catalog)
+        #: shared failure ledger for the degradation ladder (fix-control
+        #: style kill switches; see repro.resilience.quarantine)
+        self.quarantine = QuarantineRegistry(
+            self.config.resilience.quarantine_statement_threshold,
+            self.config.resilience.quarantine_global_threshold,
+        )
 
     # -- schema & data -------------------------------------------------------
 
@@ -233,17 +276,140 @@ class Database:
         tree: QueryNode,
         sql: str = "",
         config: Optional[OptimizerConfig] = None,
+        token: Optional[CancelToken] = None,
+        rebuild: Optional[Callable[[], QueryNode]] = None,
     ) -> OptimizedQuery:
         """Transform + plan an already-built query tree.
 
         This is the single optimization path: ``optimize``, ``explain``,
         ``execute``, and the service layer's plan cache all funnel through
         it.  The framework may mutate *tree*; callers that need to keep a
-        pristine copy (for re-optimization) must clone or re-parse."""
+        pristine copy (for re-optimization) must clone or re-parse.
+
+        With ``config.resilience.fallback`` enabled this drives the
+        degradation ladder: a typed error raised by a transformation or
+        the search discards the blamed transformation and retries — full
+        CBQT minus the culprit, then heuristic-only, then the
+        untransformed plan — recording the degradation on the report.
+        *rebuild* supplies a pristine tree for a retry (defaults to
+        re-parsing *sql*); *token* arms statement timeout/cancellation,
+        which always aborts instead of degrading."""
         config = config or self.config
+        resilience = config.resilience
+        if not resilience.fallback:
+            return self._optimize_attempt(tree, sql, config, token)
+
+        all_names = _all_transformation_names()
+        quarantine = self.quarantine
+        signature = None
+        quarantined: list[str] = []
+        if quarantine.dirty():
+            signature = " ".join(sql.split()) if sql else "<tree>"
+            quarantined = sorted(
+                name for name in all_names
+                if quarantine.is_quarantined(name, signature)
+            )
+        base_disabled = config.cbqt.disabled_transformations
+        if quarantined:
+            base_disabled = base_disabled | frozenset(quarantined)
+        if rebuild is None:
+            if sql:
+                rebuild = lambda: self.parse(sql)  # noqa: E731
+            else:
+                # raw-tree caller: keep a pristine copy for retries
+                pristine = tree.clone()
+                rebuild = pristine.clone
+
+        blamed: list[str] = []
+        failures: list[str] = []
+        last_error: Optional[ReproError] = None
+        attempts = 0
+        for level in ("full", "cbqt-discard", "heuristic", "untransformed"):
+            if level == "full":
+                enabled, disabled = config.cbqt.enabled, base_disabled
+            elif level == "cbqt-discard":
+                if not blamed or not config.cbqt.enabled:
+                    continue  # nothing to discard / already heuristic
+                enabled = True
+                disabled = base_disabled | frozenset(blamed)
+            elif level == "heuristic":
+                enabled = False
+                disabled = base_disabled | frozenset(blamed)
+            else:
+                enabled, disabled = False, all_names
+            if (
+                enabled == config.cbqt.enabled
+                and disabled == config.cbqt.disabled_transformations
+            ):
+                attempt_config = config  # untroubled fast path: no rewrite
+            else:
+                attempt_config = replace(
+                    config,
+                    cbqt=replace(
+                        config.cbqt,
+                        enabled=enabled,
+                        disabled_transformations=disabled,
+                    ),
+                )
+            attempts += 1
+            try:
+                optimized = self._optimize_attempt(
+                    tree, sql, attempt_config, token
+                )
+            except (StatementTimeout, StatementCancelled):
+                raise  # user limits abort; they never degrade
+            except ReproError as exc:
+                if signature is None:
+                    signature = " ".join(sql.split()) if sql else "<tree>"
+                name = getattr(exc, "transformation", None)
+                if name:
+                    quarantine.record_failure(name, signature)
+                    if name not in blamed:
+                        blamed.append(name)
+                failures.append(f"{type(exc).__name__}: {exc}")
+                last_error = exc
+                tree = rebuild()  # the failed attempt may have mutated it
+                continue
+            optimized.report.quarantined = quarantined
+            if level != "full":
+                optimized.report.degradation = DegradationInfo(
+                    level=level,
+                    reason=failures[-1],
+                    blamed=list(blamed),
+                    attempts=attempts,
+                    errors=list(failures),
+                )
+            return optimized
+        assert last_error is not None
+        raise last_error
+
+    def _optimize_attempt(
+        self,
+        tree: QueryNode,
+        sql: str,
+        config: OptimizerConfig,
+        token: Optional[CancelToken],
+    ) -> OptimizedQuery:
+        """One optimization attempt at one ladder level."""
+        if token is not None:
+            token.check()  # fast-fail before any optimization work
         columns = list(tree.output_columns())
         physical = self._physical(config)
-        framework = CbqtFramework(self.catalog, physical, config.cbqt)
+        resilience = config.resilience
+        governor = None
+        if (
+            token is not None
+            or resilience.governor_deadline is not None
+            or resilience.governor_max_states is not None
+        ):
+            governor = SearchGovernor(
+                resilience.governor_deadline,
+                resilience.governor_max_states,
+                token,
+            )
+        framework = CbqtFramework(
+            self.catalog, physical, config.cbqt, governor=governor
+        )
         tree, plan, report = framework.optimize(tree)
         return OptimizedQuery(sql, tree, plan, report, physical.counters, columns)
 
@@ -252,16 +418,23 @@ class Database:
         sql: str,
         config: Optional[OptimizerConfig] = None,
         binds: Optional[dict] = None,
+        token: Optional[CancelToken] = None,
     ) -> OptimizedQuery:
         """Transform + plan a query without running it.
 
         When *binds* are given their values are peeked for selectivity
         estimation (Oracle-style bind peeking); the plan still contains
         bind placeholders and runs correctly for any later values."""
-        tree = self.parse(sql)
-        if binds:
-            apply_peeks(tree, binds)
-        return self.optimize_tree(tree, sql, config)
+
+        def build() -> QueryNode:
+            tree = self.parse(sql)
+            if binds:
+                apply_peeks(tree, binds)
+            return tree
+
+        return self.optimize_tree(
+            build(), sql, config, token=token, rebuild=build
+        )
 
     def explain(self, sql: str, config: Optional[OptimizerConfig] = None) -> str:
         """EXPLAIN-style output: transformed SQL + the operator tree."""
@@ -297,8 +470,12 @@ class Database:
         binds: Optional[dict] = None,
         optimize_seconds: float = 0.0,
         cache_status: Optional[str] = None,
+        token: Optional[CancelToken] = None,
     ) -> QueryResult:
-        """Run an already-optimized query with the given bind values."""
+        """Run an already-optimized query with the given bind values.
+
+        *token* arms cooperative cancellation: the executor's row loops
+        poll it and abort with a typed error when it trips."""
         config = config or self.config
         physical = self._physical(config)
         executor = Executor(
@@ -309,7 +486,10 @@ class Database:
             cost_model=config.cost_model,
         )
         started = time.perf_counter()
-        rows, stats = executor.execute(optimized.plan, binds=binds)
+        with activate(token):
+            rows, stats = executor.execute(
+                optimized.plan, binds=binds, token=token
+            )
         execute_seconds = time.perf_counter() - started
         return QueryResult(
             rows,
@@ -327,14 +507,29 @@ class Database:
         sql: str,
         config: Optional[OptimizerConfig] = None,
         binds: Optional[dict] = None,
+        timeout: Optional[float] = None,
+        token: Optional[CancelToken] = None,
     ) -> QueryResult:
-        """Optimize and run a query (one-shot, no plan cache)."""
-        started = time.perf_counter()
-        optimized = self.optimize(sql, config, binds)
-        optimize_seconds = time.perf_counter() - started
-        return self.execute_plan(
-            optimized, config, binds, optimize_seconds=optimize_seconds
-        )
+        """Optimize and run a query (one-shot, no plan cache).
+
+        *timeout* bounds the whole statement (optimize + execute) in
+        wall-clock seconds; expiry raises
+        :class:`~repro.errors.StatementTimeout`."""
+        if token is None and timeout is not None:
+            token = CancelToken(timeout)
+        elif token is not None and timeout is not None:
+            token.set_deadline(timeout)
+        with activate(token):
+            started = time.perf_counter()
+            optimized = self.optimize(sql, config, binds, token=token)
+            optimize_seconds = time.perf_counter() - started
+            return self.execute_plan(
+                optimized,
+                config,
+                binds,
+                optimize_seconds=optimize_seconds,
+                token=token,
+            )
 
     def reference_execute(
         self, sql: str, binds: Optional[dict] = None

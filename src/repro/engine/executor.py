@@ -40,6 +40,7 @@ from ..optimizer.plans import (
     WindowCompute,
 )
 from ..qtree.blocks import QueryNode
+from ..resilience import CancelToken, faults
 from ..sql import ast
 from .expressions import (
     ExpressionCompiler,
@@ -98,14 +99,17 @@ class Executor:
         plan: Plan,
         binding: Optional[Row] = None,
         binds: Optional[dict] = None,
+        token: Optional[CancelToken] = None,
     ) -> tuple[list[tuple], ExecStats]:
         """Run *plan* to completion; returns output tuples and stats.
 
         *binds* maps bind-variable keys (lowercase, as on
         :class:`~repro.sql.ast.BindParam`) to their values for this run.
+        *token* arms cooperative cancellation: row loops poll it and the
+        run aborts with StatementTimeout/StatementCancelled when it trips.
         """
         stats = ExecStats()
-        run = _PlanRun(self, stats, binds)
+        run = _PlanRun(self, stats, binds, token)
         rows = [run.output_tuple(row) for row in run.rows(plan, binding or {})]
         stats.rows_out = len(rows)
         return rows, stats
@@ -115,11 +119,15 @@ class _PlanRun:
     """State for one plan execution (stats, subquery caches)."""
 
     def __init__(self, executor: Executor, stats: ExecStats,
-                 binds: Optional[dict] = None):
+                 binds: Optional[dict] = None,
+                 token: Optional[CancelToken] = None):
         self._executor = executor
         self._storage = executor._storage
         self._catalog = executor._catalog
         self._cm = executor._cm
+        #: None in the common case — hot loops hoist ``token.check`` into
+        #: a local and pay one ``is None`` test per row when disarmed
+        self._token = token
         self.stats = stats
         self._runner = TisSubqueryRunner(self)
         self._compiler = ExpressionCompiler(
@@ -153,9 +161,11 @@ class _PlanRun:
     # -- dispatch ---------------------------------------------------------------
 
     def rows(self, plan: Plan, binding: Row) -> Iterator[Row]:
-        method = getattr(self, f"_run_{type(plan).__name__.lower()}", None)
+        name = type(plan).__name__
+        faults.check(f"executor.{name}", self._token)
+        method = getattr(self, f"_run_{name.lower()}", None)
         if method is None:
-            raise UnsupportedError(f"no executor for plan node {type(plan).__name__}")
+            raise UnsupportedError(f"no executor for plan node {name}")
         return method(plan, binding)
 
     # -- leaves ---------------------------------------------------------------
@@ -166,7 +176,10 @@ class _PlanRun:
         predicates = [self._compiled(c) for c in plan.conjuncts]
         prefix = plan.alias
         n_pred = len(predicates)
+        check = self._token.check if self._token is not None else None
         for row_id, stored in enumerate(data.rows):
+            if check is not None:
+                check()
             self.stats.charge(cm.scan_row + cm.predicate_eval * n_pred)
             row = dict(binding)
             for name, value in stored.items():
@@ -200,7 +213,10 @@ class _PlanRun:
             row_ids = index_data.scan(prefix_values)
         alias = plan.alias
         n_pred = len(predicates)
+        check = self._token.check if self._token is not None else None
         for row_id in row_ids:
+            if check is not None:
+                check()
             self.stats.charge(cm.index_row + cm.predicate_eval * n_pred)
             stored = data.rows[row_id]
             row = dict(binding)
@@ -270,7 +286,10 @@ class _PlanRun:
                 merged.update(right_row)
                 yield merged
 
+        check = self._token.check if self._token is not None else None
         for left_row in self.rows(plan.left, binding):
+            if check is not None:
+                check()
             if semi_like and cache_key_fns:
                 key = tuple(fn(left_row) for fn in cache_key_fns)
                 self.stats.charge(cm.tis_cache_probe)
@@ -390,9 +409,12 @@ class _PlanRun:
         right_key_fns = [self._compiled(k) for k in plan.right_keys]
         residuals = [self._compiled(c) for c in plan.residual_conjuncts]
 
+        check = self._token.check if self._token is not None else None
         table: dict[tuple, list[Row]] = {}
         build_has_null_key = False
         for right_row in self.rows(plan.right, binding):
+            if check is not None:
+                check()
             self.stats.charge(cm.hash_row)
             key = tuple(fn(right_row) for fn in right_key_fns)
             if any(v is None for v in key):
@@ -402,6 +424,8 @@ class _PlanRun:
 
         join_type = plan.join_type
         for left_row in self.rows(plan.left, binding):
+            if check is not None:
+                check()
             self.stats.charge(cm.hash_row)
             key = tuple(fn(left_row) for fn in left_key_fns)
             key_has_null = any(v is None for v in key)
@@ -470,7 +494,10 @@ class _PlanRun:
         join_type = plan.join_type
         j = 0
         n_right = len(right_sorted)
+        check = self._token.check if self._token is not None else None
         for key, left_row in left_sorted:
+            if check is not None:
+                check()
             self.stats.charge(cm.pipeline_row)
             if any(v is None for v in key):
                 if join_type == "LEFT":
@@ -521,7 +548,10 @@ class _PlanRun:
             for node in c.walk()
             if isinstance(node, ast.FuncCall)
         )
+        check = self._token.check if self._token is not None else None
         for row in self.rows(plan.child, binding):
+            if check is not None:
+                check()
             self.stats.charge(cm.predicate_eval * len(predicates) + extra)
             if all(is_true(p(row)) for p in predicates):
                 self._count(plan)

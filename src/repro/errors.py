@@ -71,3 +71,28 @@ class VerificationError(ReproError):
 
 class UnsupportedError(ReproError):
     """A SQL construct outside the implemented subset was encountered."""
+
+
+class StatementTimeout(ReproError):
+    """A statement exceeded its wall-clock timeout and was aborted.
+
+    Deliberately *not* caught by the degradation ladder: a timed-out
+    statement must fail fast, not burn more time retrying at lower
+    optimization levels.
+    """
+
+
+class StatementCancelled(ReproError):
+    """A statement was cancelled cooperatively (``Cursor.cancel()``).
+
+    Like :class:`StatementTimeout`, escapes every fallback net.
+    """
+
+
+class FaultInjected(ReproError):
+    """Raised by the fault-injection harness (:mod:`repro.resilience.faults`).
+
+    A typed :class:`ReproError` so the chaos suite can assert the
+    resilience contract: every injected fault yields either a correct
+    result via fallback or a *typed* error — never a bare crash.
+    """

@@ -1,0 +1,92 @@
+"""Cooperative statement cancellation and wall-clock timeouts.
+
+A :class:`CancelToken` is created per statement (``Session.execute(...,
+timeout=...)`` or ``Cursor``), threaded through the optimizer's search
+governor and the executor's row loops, and checked cooperatively:
+``token.check()`` raises :class:`~repro.errors.StatementTimeout` or
+:class:`~repro.errors.StatementCancelled` the next time a loop reaches a
+check point.  Cancellation is therefore safe anywhere — no state is
+destroyed mid-operation, the statement simply unwinds with a typed error.
+
+The module also tracks the *current* token per thread so code without an
+explicit handle on the statement (the fault-injection stall helper, the
+plan cache) can still honour cancellation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..errors import StatementCancelled, StatementTimeout
+
+_TLS = threading.local()
+
+
+class CancelToken:
+    """Cooperative cancellation handle for one statement execution.
+
+    Thread-safe: ``cancel()`` may be called from any thread while the
+    executing thread polls ``check()``.
+    """
+
+    #: class-level construction counter (bench_resilience asserts the
+    #: idle path creates zero tokens)
+    created = 0
+
+    def __init__(self, timeout: Optional[float] = None):
+        type(self).created += 1
+        self._cancelled = threading.Event()
+        self._deadline: Optional[float] = None
+        #: number of ``check()`` polls served (observability / benches)
+        self.checks = 0
+        if timeout is not None:
+            self.set_deadline(timeout)
+
+    def set_deadline(self, timeout: float) -> None:
+        """Arm (or re-arm) the wall-clock deadline *timeout* seconds out."""
+        self._deadline = time.monotonic() + timeout
+
+    def cancel(self) -> None:
+        """Request cancellation; the executing thread aborts at its next
+        check point with :class:`~repro.errors.StatementCancelled`."""
+        self._cancelled.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def expired(self) -> bool:
+        return (
+            self._deadline is not None and time.monotonic() >= self._deadline
+        )
+
+    def check(self) -> None:
+        """Raise if the statement was cancelled or timed out."""
+        self.checks += 1
+        if self._cancelled.is_set():
+            raise StatementCancelled("statement cancelled")
+        if self.expired():
+            raise StatementTimeout("statement exceeded its timeout")
+
+
+def current_token() -> Optional[CancelToken]:
+    """The token of the statement executing on this thread, if any."""
+    return getattr(_TLS, "token", None)
+
+
+@contextmanager
+def activate(token: Optional[CancelToken]) -> Iterator[None]:
+    """Publish *token* as this thread's current statement token for the
+    duration of the block (None is a no-op, nesting restores)."""
+    if token is None:
+        yield
+        return
+    previous = getattr(_TLS, "token", None)
+    _TLS.token = token
+    try:
+        yield
+    finally:
+        _TLS.token = previous

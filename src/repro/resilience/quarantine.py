@@ -1,0 +1,131 @@
+"""Transformation quarantine — Oracle fix-control style kill switches.
+
+A transformation that keeps failing is worse than a missing
+transformation: every statement it touches pays a failed optimization
+attempt before the degradation ladder rescues it.  The registry counts
+statement-failing errors blamed on each transformation, both per
+statement signature (normalized SQL) and globally; once either count
+passes its threshold the transformation is *quarantined* — skipped at
+parse time for the matching scope, recorded in the optimization report
+and explain output.
+
+Quarantine is an operational state, not a config: it is inspectable and
+resettable at runtime (``.quarantine`` in the shell, ``python -m repro
+quarantine``, :meth:`QuarantineRegistry.reset`).  Every reset bumps
+``epoch``; the plan cache records the epoch on entries that were built
+via fallback, so a reset makes the service re-attempt those statements
+at full CBQT instead of serving the degraded plan forever.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+
+class QuarantineRegistry:
+    """Thread-safe failure ledger with per-signature and global scopes."""
+
+    def __init__(
+        self,
+        statement_threshold: int = 3,
+        global_threshold: int = 12,
+    ):
+        if statement_threshold < 1 or global_threshold < 1:
+            raise ValueError("quarantine thresholds must be >= 1")
+        self.statement_threshold = statement_threshold
+        self.global_threshold = global_threshold
+        self._lock = threading.Lock()
+        self._global: dict[str, int] = {}
+        self._by_statement: dict[tuple[str, str], int] = {}
+        #: bumped on every reset; cached degraded plans are re-attempted
+        #: at full CBQT when their recorded epoch is stale
+        self.epoch = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record_failure(self, transformation: str, signature: str) -> None:
+        """Count one statement-failing error blamed on *transformation*
+        while optimizing the statement with *signature*."""
+        with self._lock:
+            self._global[transformation] = (
+                self._global.get(transformation, 0) + 1
+            )
+            key = (transformation, signature)
+            self._by_statement[key] = self._by_statement.get(key, 0) + 1
+
+    def dirty(self) -> bool:
+        """Cheap lock-free gate for the optimize hot path: False until
+        the first failure is ever recorded (dict truthiness is atomic),
+        letting untroubled statements skip the per-name lookups."""
+        return bool(self._global) or bool(self._by_statement)
+
+    def is_quarantined(self, transformation: str, signature: str) -> bool:
+        """True when *transformation* must be skipped for this statement
+        (its per-signature or global failure count passed a threshold)."""
+        with self._lock:
+            if self._global.get(transformation, 0) >= self.global_threshold:
+                return True
+            return (
+                self._by_statement.get((transformation, signature), 0)
+                >= self.statement_threshold
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self, transformation: Optional[str] = None) -> None:
+        """Clear failure counts (for one transformation, or all) and bump
+        the epoch so fallback-cached plans get re-attempted."""
+        with self._lock:
+            if transformation is None:
+                self._global.clear()
+                self._by_statement.clear()
+            else:
+                self._global.pop(transformation, None)
+                for key in [
+                    k for k in self._by_statement if k[0] == transformation
+                ]:
+                    del self._by_statement[key]
+            self.epoch += 1
+
+    # -- introspection -----------------------------------------------------
+
+    def failures(self, transformation: str) -> int:
+        with self._lock:
+            return self._global.get(transformation, 0)
+
+    def snapshot(self) -> dict:
+        """Counts and currently-quarantined names (global scope)."""
+        with self._lock:
+            globally_out = sorted(
+                name for name, count in self._global.items()
+                if count >= self.global_threshold
+            )
+            statement_out = sorted(
+                f"{name} @ {sig}"
+                for (name, sig), count in self._by_statement.items()
+                if count >= self.statement_threshold
+            )
+            return {
+                "epoch": self.epoch,
+                "failures": dict(sorted(self._global.items())),
+                "quarantined_global": globally_out,
+                "quarantined_statements": statement_out,
+            }
+
+    def format_table(self) -> str:
+        snap = self.snapshot()
+        lines = [
+            "transformation quarantine",
+            f"  epoch            {snap['epoch']}",
+            f"  thresholds       statement={self.statement_threshold} "
+            f"global={self.global_threshold}",
+        ]
+        if not snap["failures"]:
+            lines.append("  (no recorded failures)")
+        for name, count in snap["failures"].items():
+            marker = "  QUARANTINED" if name in snap["quarantined_global"] else ""
+            lines.append(f"  {name:<20} {count}{marker}")
+        for entry in snap["quarantined_statements"]:
+            lines.append(f"  statement-scope: {entry}")
+        return "\n".join(lines)

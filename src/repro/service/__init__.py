@@ -9,6 +9,7 @@ from .metrics import CacheMetrics
 from .plan_cache import CacheEntry, PlanCache, normalize_sql
 from .service import (
     DEFAULT_REOPTIMIZE_THRESHOLD,
+    Cursor,
     PreparedStatement,
     QueryService,
     Session,
@@ -18,6 +19,7 @@ __all__ = [
     "BindPredicate",
     "CacheEntry",
     "CacheMetrics",
+    "Cursor",
     "DEFAULT_REOPTIMIZE_THRESHOLD",
     "PlanCache",
     "PreparedStatement",

@@ -21,6 +21,12 @@ class CacheMetrics:
         "evictions",
         "reoptimizations",
         "executions",
+        # resilience layer (degradation ladder / quarantine / cancellation)
+        "degraded_executions",
+        "degraded_retries",
+        "cache_errors",
+        "timeouts",
+        "cancellations",
     )
     _TIMERS = ("optimize_seconds", "execute_seconds")
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..database import OptimizedQuery
+from ..resilience import faults
 from .binds import BindPredicate
 from .metrics import CacheMetrics
 
@@ -41,6 +42,13 @@ class CacheEntry:
     peeked_binds: dict = field(default_factory=dict)
     #: executions served by this entry (informational, guarded by cache lock)
     executions: int = 0
+    #: degradation-ladder level this plan was produced at (None = full
+    #: CBQT); a fallback plan is cached *as* a fallback plan, never
+    #: silently promoted to first class
+    degraded: Optional[str] = None
+    #: quarantine epoch at optimize time; a quarantine reset bumps the
+    #: epoch, making the service re-attempt degraded entries at full CBQT
+    quarantine_epoch: int = 0
 
 
 def normalize_sql(sql: str) -> str:
@@ -66,6 +74,7 @@ class PlanCache:
         """The entry under *key*, if present and still valid against the
         current catalog/statistics *versions*; stale entries are removed
         (counted as an invalidation and a miss)."""
+        faults.check("plan_cache.lookup")
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -84,6 +93,7 @@ class PlanCache:
 
     def store(self, entry: CacheEntry) -> None:
         """Insert or replace *entry*, evicting LRU entries over capacity."""
+        faults.check("plan_cache.store")
         with self._lock:
             self._entries[entry.key] = entry
             self._entries.move_to_end(entry.key)

@@ -20,10 +20,12 @@ import time
 from typing import Optional
 
 from ..database import Database, OptimizerConfig, QueryResult
+from ..errors import ReproError, StatementCancelled, StatementTimeout
+from ..qtree.binds import apply_peeks, referenced_tables
+from ..resilience import CancelToken, activate
 from .binds import extract_bind_profile, max_drift, normalize_binds
 from .metrics import CacheMetrics
 from .plan_cache import CacheEntry, PlanCache, normalize_sql
-from ..qtree.binds import apply_peeks, referenced_tables
 
 #: re-optimize when the selectivity ratio between the peeked plan and the
 #: current binds exceeds this factor
@@ -43,15 +45,56 @@ class PreparedStatement:
         self.sql = sql
         self.config = config
 
-    def execute(self, binds: object = None) -> QueryResult:
+    def execute(self, binds: object = None,
+                timeout: Optional[float] = None) -> QueryResult:
         """Run with *binds* (mapping or positional sequence)."""
-        return self._service.execute(self.sql, binds, self.config)
+        return self._service.execute(self.sql, binds, self.config,
+                                     timeout=timeout)
 
     def explain(self, binds: object = None) -> str:
         return self._service.explain(self.sql, binds, self.config)
 
+    def cursor(self) -> "Cursor":
+        """A cancellable execution handle for this statement."""
+        return Cursor(self._service, self.sql, self.config)
+
     def __repr__(self) -> str:
         return f"PreparedStatement({self.sql!r})"
+
+
+class Cursor:
+    """A cancellable handle on one statement.
+
+    ``execute()`` runs synchronously on the calling thread;
+    ``cancel()`` may be called from any other thread and aborts the
+    in-flight execution at its next cooperative check point with
+    :class:`~repro.errors.StatementCancelled`.  A cancelled execution
+    never poisons the shared plan cache: a plan cached before the
+    cancellation stays valid and keeps serving other sessions.
+    """
+
+    def __init__(self, service: "QueryService", sql: str,
+                 config: Optional[OptimizerConfig] = None):
+        self._service = service
+        self.sql = sql
+        self.config = config
+        self._token = CancelToken()
+
+    def execute(self, binds: object = None,
+                timeout: Optional[float] = None) -> QueryResult:
+        if timeout is not None:
+            self._token.set_deadline(timeout)
+        return self._service.execute(
+            self.sql, binds, self.config, token=self._token
+        )
+
+    def cancel(self) -> None:
+        """Request cancellation (thread-safe, cooperative)."""
+        self._token.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._token.cancelled
 
 
 class Session:
@@ -67,8 +110,17 @@ class Session:
                 config: Optional[OptimizerConfig] = None) -> PreparedStatement:
         return PreparedStatement(self._service, sql, config or self.config)
 
-    def execute(self, sql: str, binds: object = None) -> QueryResult:
-        return self._service.execute(sql, binds, self.config)
+    def cursor(self, sql: str,
+               config: Optional[OptimizerConfig] = None) -> Cursor:
+        """A cancellable execution handle (``Cursor.cancel()``)."""
+        return Cursor(self._service, sql, config or self.config)
+
+    def execute(self, sql: str, binds: object = None,
+                timeout: Optional[float] = None) -> QueryResult:
+        """Run *sql*; *timeout* bounds the whole statement in wall-clock
+        seconds (StatementTimeout on expiry)."""
+        return self._service.execute(sql, binds, self.config,
+                                     timeout=timeout)
 
     def explain(self, sql: str, binds: object = None) -> str:
         return self._service.explain(sql, binds, self.config)
@@ -106,20 +158,43 @@ class QueryService:
         sql: str,
         binds: object = None,
         config: Optional[OptimizerConfig] = None,
+        timeout: Optional[float] = None,
+        token: Optional[CancelToken] = None,
     ) -> QueryResult:
         """Serve one execution: soft parse against the plan cache, hard
         parse (with bind peeking) on miss, adaptive re-optimization on
-        selectivity drift."""
+        selectivity drift.
+
+        *timeout* bounds the whole statement (optimize + execute) in
+        wall-clock seconds; *token* allows cross-thread cancellation.
+        Both abort with a typed error and never poison the plan cache."""
+        if token is None and timeout is not None:
+            token = CancelToken()
+        if token is not None and timeout is not None:
+            token.set_deadline(timeout)
         bind_map = normalize_binds(binds)
-        entry, status, optimize_seconds = self._cursor_for(sql, bind_map, config)
-        result = self.database.execute_plan(
-            entry.optimized,
-            config,
-            bind_map,
-            optimize_seconds=optimize_seconds,
-            cache_status=status,
-        )
+        try:
+            with activate(token):
+                entry, status, optimize_seconds = self._cursor_for(
+                    sql, bind_map, config, token
+                )
+                result = self.database.execute_plan(
+                    entry.optimized,
+                    config,
+                    bind_map,
+                    optimize_seconds=optimize_seconds,
+                    cache_status=status,
+                    token=token,
+                )
+        except StatementTimeout:
+            self.metrics.bump("timeouts")
+            raise
+        except StatementCancelled:
+            self.metrics.bump("cancellations")
+            raise
         self.metrics.bump("executions")
+        if entry.degraded is not None:
+            self.metrics.bump("degraded_executions")
         self.metrics.add_time("execute_seconds", result.execute_seconds)
         return result
 
@@ -180,31 +255,64 @@ class QueryService:
         sql: str,
         bind_map: dict,
         config: Optional[OptimizerConfig],
+        token: Optional[CancelToken] = None,
     ) -> tuple[CacheEntry, str, float]:
         """Find or build the cursor serving this call; returns the entry,
         its cache disposition, and the optimize time spent (0 on hit)."""
         key = self._key(sql, config)
         if not self.caching:
-            entry, seconds = self._hard_parse(key, sql, bind_map, config)
+            entry, seconds = self._hard_parse(key, sql, bind_map, config, token)
             self.metrics.bump("misses")
             return entry, "uncached", seconds
 
-        entry = self.cache.lookup(key, self._versions)
+        try:
+            entry = self.cache.lookup(key, self._versions)
+        except (StatementTimeout, StatementCancelled):
+            raise
+        except ReproError:
+            # A broken cache must not take statements down with it:
+            # degrade to an uncached hard parse for this call.
+            self.metrics.bump("cache_errors")
+            entry, seconds = self._hard_parse(key, sql, bind_map, config, token)
+            return entry, "uncached", seconds
         if entry is None:
-            entry, seconds = self._hard_parse(key, sql, bind_map, config)
-            self.cache.store(entry)
+            entry, seconds = self._hard_parse(key, sql, bind_map, config, token)
+            self._store(entry)
             return entry, "miss", seconds
+
+        if (
+            entry.degraded is not None
+            and entry.quarantine_epoch != self.database.quarantine.epoch
+        ):
+            # The quarantine was reset since this fallback plan was built:
+            # give the statement another shot at full CBQT.
+            entry, seconds = self._hard_parse(key, sql, bind_map, config, token)
+            self._store(entry)
+            self.metrics.bump("degraded_retries")
+            return entry, "retry", seconds
 
         if entry.bind_profile and bind_map != entry.peeked_binds:
             drift = max_drift(
                 entry.bind_profile, bind_map, self.database.statistics
             )
             if drift > self.reoptimize_threshold:
-                entry, seconds = self._hard_parse(key, sql, bind_map, config)
-                self.cache.store(entry)
+                entry, seconds = self._hard_parse(
+                    key, sql, bind_map, config, token
+                )
+                self._store(entry)
                 self.metrics.bump("reoptimizations")
                 return entry, "reoptimized", seconds
         return entry, "hit", 0.0
+
+    def _store(self, entry: CacheEntry) -> None:
+        """Store *entry*, tolerating cache faults (the plan still serves
+        this call; it is simply not shared)."""
+        try:
+            self.cache.store(entry)
+        except (StatementTimeout, StatementCancelled):
+            raise
+        except ReproError:
+            self.metrics.bump("cache_errors")
 
     def _hard_parse(
         self,
@@ -212,6 +320,7 @@ class QueryService:
         sql: str,
         bind_map: dict,
         config: Optional[OptimizerConfig],
+        token: Optional[CancelToken] = None,
     ) -> tuple[CacheEntry, float]:
         """Parse, peek binds, optimize; build the cache entry recording
         the dependency versions read *before* optimization, so any
@@ -224,9 +333,19 @@ class QueryService:
         }
         apply_peeks(tree, bind_map)
         profile = extract_bind_profile(tree, database.statistics)
-        optimized = database.optimize_tree(tree, sql, config)
+
+        def rebuild():
+            fresh = database.parse(sql)
+            apply_peeks(fresh, bind_map)
+            return fresh
+
+        epoch = database.quarantine.epoch
+        optimized = database.optimize_tree(
+            tree, sql, config, token=token, rebuild=rebuild
+        )
         seconds = time.perf_counter() - started
         self.metrics.add_time("optimize_seconds", seconds)
+        degradation = optimized.report.degradation
         entry = CacheEntry(
             key=key,
             sql=sql,
@@ -234,5 +353,7 @@ class QueryService:
             dependencies=dependencies,
             bind_profile=profile,
             peeked_binds=dict(bind_map),
+            degraded=degradation.level if degradation is not None else None,
+            quarantine_epoch=epoch,
         )
         return entry, seconds

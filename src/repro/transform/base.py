@@ -21,6 +21,7 @@ from typing import Optional
 from ..catalog.schema import Catalog
 from ..errors import TransformError
 from ..qtree.blocks import FromItem, QueryBlock, QueryNode, SetOpBlock
+from ..resilience import blame, faults
 
 
 @dataclass(frozen=True)
@@ -133,7 +134,9 @@ def apply_everywhere(transformation: Transformation, root: QueryNode) -> QueryNo
         targets = transformation.find_targets(root)
         if not targets:
             return root
-        root = transformation.apply(root, targets[0])
+        with blame(transformation.name):
+            faults.check(f"transform.{transformation.name}")
+            root = transformation.apply(root, targets[0])
     raise TransformError(
         f"{transformation.name}: did not reach a fixpoint after 64 rounds"
     )

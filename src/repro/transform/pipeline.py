@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..catalog.schema import Catalog
 from ..qtree.blocks import QueryNode
+from ..resilience import blame
 from .base import Transformation, apply_everywhere
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -102,7 +103,8 @@ def apply_heuristic_phase(
                 root = apply_everywhere(transformation, root)
                 changed = True
                 if auditor is not None:
-                    auditor.audit_tree(root, transformation.name)
+                    with blame(transformation.name):
+                        auditor.audit_tree(root, transformation.name)
         if not changed:
             break
     return root

@@ -16,6 +16,10 @@ import random
 # test runs under the sanitizer (repro.analysis); an invariant violation
 # raises VerificationError instead of silently corrupting plans.
 os.environ.setdefault("REPRO_DEBUG_CHECKS", "1")
+# Strict mode: disable the degradation ladder so optimizer errors raise
+# instead of falling back — the suite asserts on exact failure behaviour.
+# Resilience tests opt back in with ResilienceConfig(fallback=True).
+os.environ.setdefault("REPRO_FALLBACK", "0")
 
 import pytest
 

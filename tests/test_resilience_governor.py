@@ -1,0 +1,116 @@
+"""The search governor: budgeted, deadline-bounded CBQT search.
+
+Unit tests of the admit() contract plus end-to-end proofs that an
+exhausted governor degrades plan quality but never correctness: the
+statement still runs and returns the same rows as reference.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro import Database, OptimizerConfig, ResilienceConfig, SearchGovernor
+from repro.errors import StatementCancelled, StatementTimeout
+from repro.resilience import CancelToken
+
+from .conftest import build_tiny_db
+
+# a correlated aggregate subquery: drives the cost-based state-space
+# search (unnest/merge/jppd alternatives), so cost_fn — and therefore the
+# governor — is actually exercised
+SQL = (
+    "SELECT e.emp_id FROM employees e "
+    "WHERE e.salary > (SELECT AVG(j.start_date) FROM job_history j "
+    "WHERE j.emp_id = e.emp_id)"
+)
+
+
+class TestAdmitContract:
+    def test_state_budget_exhaustion(self):
+        governor = SearchGovernor(max_cost_estimations=2)
+        assert governor.admit() is True
+        assert governor.admit() is True
+        assert governor.admit() is False
+        assert governor.exhausted == "state budget"
+        # stays exhausted: the search drains instead of flapping
+        assert governor.admit() is False
+        assert governor.cost_estimations == 2
+
+    def test_deadline_exhaustion(self):
+        governor = SearchGovernor(deadline_seconds=0.0)
+        assert governor.admit() is False
+        assert governor.exhausted == "deadline"
+
+    def test_unbounded_always_admits(self):
+        governor = SearchGovernor()
+        assert all(governor.admit() for _ in range(100))
+        assert governor.exhausted is None
+
+    def test_cancelled_token_aborts_not_degrades(self):
+        token = CancelToken()
+        token.cancel()
+        governor = SearchGovernor(max_cost_estimations=10, token=token)
+        with pytest.raises(StatementCancelled):
+            governor.admit()
+
+    def test_expired_token_aborts_not_degrades(self):
+        token = CancelToken(timeout=0.0)
+        governor = SearchGovernor(token=token)
+        with pytest.raises(StatementTimeout):
+            governor.admit()
+
+    def test_stats_describe(self):
+        governor = SearchGovernor(max_cost_estimations=1)
+        governor.admit()
+        governor.admit()
+        stats = governor.stats()
+        assert stats.cost_estimations == 1
+        assert stats.exhausted == "state budget"
+        assert "best-so-far" in stats.describe()
+
+
+class TestGovernedOptimization:
+    @pytest.fixture(scope="class")
+    def db(self) -> Database:
+        return build_tiny_db()
+
+    def _governed(self, **knobs) -> OptimizerConfig:
+        return OptimizerConfig(resilience=ResilienceConfig(**knobs))
+
+    def test_state_budget_returns_best_so_far(self, db):
+        expected = Counter(db.reference_execute(SQL))
+        result = db.execute(SQL, self._governed(governor_max_states=1))
+        assert Counter(result.rows) == expected
+        governor = result.report.governor
+        assert governor is not None
+        assert governor.exhausted == "state budget"
+
+    def test_zero_deadline_still_plans(self, db):
+        expected = Counter(db.reference_execute(SQL))
+        result = db.execute(SQL, self._governed(governor_deadline=0.0))
+        assert Counter(result.rows) == expected
+        assert result.report.governor.exhausted == "deadline"
+
+    def test_generous_budget_within_limits(self, db):
+        result = db.execute(SQL, self._governed(governor_max_states=100_000))
+        assert result.report.governor is not None
+        assert result.report.governor.exhausted is None
+
+    def test_exhaustion_surfaces_in_explain(self, db):
+        optimized = db.optimize(SQL, self._governed(governor_max_states=1))
+        assert "-- governor:" in optimized.explain()
+        # within budget -> no governor noise in explain
+        quiet = db.optimize(SQL, self._governed(governor_max_states=100_000))
+        assert "-- governor:" not in quiet.explain()
+
+    def test_ungoverned_path_builds_no_governor(self, db):
+        before = SearchGovernor.created
+        db.optimize(SQL, OptimizerConfig())
+        assert SearchGovernor.created == before
+
+    def test_governed_matches_ungoverned_rows(self, db):
+        free = db.execute(SQL, OptimizerConfig())
+        capped = db.execute(SQL, self._governed(governor_max_states=3))
+        assert Counter(capped.rows) == Counter(free.rows)
