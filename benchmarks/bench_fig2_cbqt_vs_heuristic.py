@@ -63,7 +63,21 @@ def test_fig2_cbqt_vs_heuristic(benchmark, apps, mixed_queries,
             "degraded ~40%; optimization time +40%",
         ],
     )
-    record_report("Figure 2 CBQT vs heuristic", report)
+    record_report(
+        "Figure 2 CBQT vs heuristic",
+        report,
+        metrics={
+            "n_affected": len(affected),
+            "top5_improvement_percent": round(curve[0].improvement_percent, 1),
+            "overall_improvement_percent": round(
+                curve[-1].improvement_percent, 1
+            ),
+            "degraded_query_percent": round(
+                stats.degraded_percent_of_queries, 1
+            ),
+            "optimization_time_increase_percent": round(opt_increase, 1),
+        },
+    )
 
     overall = curve[-1].improvement_percent
     top5 = curve[0].improvement_percent

@@ -65,7 +65,21 @@ def test_fig3_unnesting(benchmark, apps, complex_queries, mixed_queries):
             "optimization time +31%",
         ],
     )
-    record_report("Figure 3 unnesting", report)
+    record_report(
+        "Figure 3 unnesting",
+        report,
+        metrics={
+            "n_affected": len(affected),
+            "top5_improvement_percent": round(curve[0].improvement_percent, 1),
+            "overall_improvement_percent": round(
+                curve[-1].improvement_percent, 1
+            ),
+            "degraded_query_percent": round(
+                stats.degraded_percent_of_queries, 1
+            ),
+            "optimization_time_increase_percent": round(opt_increase, 1),
+        },
+    )
 
     overall = curve[-1].improvement_percent
     top5 = curve[0].improvement_percent

@@ -74,7 +74,21 @@ def test_fig4_jppd(benchmark, apps, complex_queries, mixed_queries):
             "benefit more); 11% degraded ~15%; optimization time +7%",
         ],
     )
-    record_report("Figure 4 JPPD", report)
+    record_report(
+        "Figure 4 JPPD",
+        report,
+        metrics={
+            "n_affected": len(affected),
+            "top5_improvement_percent": round(curve[0].improvement_percent, 1),
+            "overall_improvement_percent": round(
+                curve[-1].improvement_percent, 1
+            ),
+            "degraded_query_percent": round(
+                stats.degraded_percent_of_queries, 1
+            ),
+            "optimization_time_increase_percent": round(opt_increase, 1),
+        },
+    )
 
     overall = curve[-1].improvement_percent
     top5 = curve[0].improvement_percent

@@ -1,0 +1,118 @@
+"""Observability-layer idle overhead: tracing and profiling must be free
+when off.
+
+The obs hooks sit on the same hot paths as the resilience hooks — every
+costed search state (trace emit), every executor row dispatch (profiled
+generator wrap), every optimize/execute completion (metrics recording).
+The design keeps each to an ``is None`` / plain-bool test when disarmed,
+so an untraced, unanalyzed statement pays nothing measurable.  Both
+halves of that contract:
+
+* *structurally*: a full optimize+execute workload with no tracer armed
+  and ``analyze`` off constructs **zero** trace events and records no
+  per-operator invocation or timing entries;
+* *empirically*: throughput with the metrics registry attached (the
+  default) is within 2% of the same workload with metrics detached
+  (median of paired interleaved sweeps, as in bench_resilience).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro import Database
+from repro.obs import TraceEvent
+
+from conftest import record_report
+
+QUERIES = [
+    "SELECT e.employee_name, e.salary FROM employees e WHERE e.salary > 5000",
+    "SELECT e.employee_name, d.department_name FROM employees e, "
+    "departments d WHERE e.dept_id = d.dept_id AND e.salary > 8000",
+    "SELECT d.department_name, COUNT(*) FROM employees e, departments d "
+    "WHERE e.dept_id = d.dept_id GROUP BY d.department_name",
+    "SELECT e.employee_name FROM employees e WHERE EXISTS "
+    "(SELECT 1 FROM job_history j WHERE j.emp_id = e.emp_id)",
+    "SELECT e.employee_name FROM employees e WHERE e.salary > "
+    "(SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e.dept_id)",
+]
+
+ROUNDS = 4
+REPEATS = 9
+TOLERANCE_PERCENT = 2.0
+
+
+def _sweep(db: Database) -> float:
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        for sql in QUERIES:
+            db.execute(sql)
+    return time.perf_counter() - started
+
+
+def _measure_overhead(db: Database, repeats: int) -> tuple[float, float, float]:
+    """Median of paired, interleaved relative deltas: each detached sweep
+    is immediately followed by an attached sweep, so clock drift and
+    cache warmth hit both variants equally."""
+    metrics = db.metrics
+    deltas, off_times, on_times = [], [], []
+    try:
+        for _ in range(repeats):
+            db.metrics = None
+            off = _sweep(db)
+            db.metrics = metrics
+            on = _sweep(db)
+            off_times.append(off)
+            on_times.append(on)
+            deltas.append((on - off) / off * 100)
+    finally:
+        db.metrics = metrics
+    return (
+        statistics.median(deltas),
+        statistics.median(off_times),
+        statistics.median(on_times),
+    )
+
+
+def test_disarmed_observability_costs_nothing(hr_db):
+    assert hr_db.tracer is None, "bench requires a disarmed tracer"
+
+    _sweep(hr_db)  # warm caches
+
+    # the structural contract: no trace machinery, no profiler entries
+    events_before = TraceEvent.created
+    result = hr_db.execute(QUERIES[-1])
+    assert TraceEvent.created == events_before, (
+        "disarmed engine constructed trace events"
+    )
+    assert result.exec_stats.node_seconds == {}
+    assert result.exec_stats.node_invocations == {}
+
+    overhead, elapsed_off, elapsed_on = _measure_overhead(hr_db, REPEATS)
+    if overhead >= TOLERANCE_PERCENT:
+        # confirmation pass before failing a perf gate on one noisy sample
+        overhead, elapsed_off, elapsed_on = _measure_overhead(
+            hr_db, REPEATS * 2
+        )
+
+    executions = ROUNDS * len(QUERIES)
+    record_report(
+        "observability idle overhead",
+        "\n".join([
+            f"{executions} optimize+execute statements per sweep, "
+            f"median of >= {REPEATS} interleaved sweep pairs",
+            f"{'variant':>18} {'seconds':>9}",
+            f"{'metrics detached':>18} {elapsed_off:9.3f}",
+            f"{'metrics attached':>18} {elapsed_on:9.3f}",
+            f"idle cost: {overhead:+.1f}% "
+            f"(tolerance {TOLERANCE_PERCENT:.0f}%; tracer/profiler hooks "
+            "are an `is None` test when disarmed)",
+            f"trace events constructed: {TraceEvent.created - events_before}",
+        ]),
+    )
+
+    assert overhead < TOLERANCE_PERCENT, (
+        f"idle observability overhead {overhead:.2f}% exceeds "
+        f"{TOLERANCE_PERCENT}%"
+    )

@@ -73,7 +73,17 @@ def test_table1_annotation_reuse(benchmark, hr_db):
         "",
         "  paper: 12 total, 4 of 12 avoided",
     ]
-    record_report("Table 1 annotation reuse", "\n".join(lines))
+    record_report(
+        "Table 1 annotation reuse",
+        "\n".join(lines),
+        metrics={
+            "blocks_without_reuse": without_reuse.blocks_optimized,
+            "blocks_with_reuse": with_reuse.blocks_optimized,
+            "blocks_saved": (
+                without_reuse.blocks_optimized - with_reuse.blocks_optimized
+            ),
+        },
+    )
 
     # Paper shape: 4 states x 3 blocks = 12 without reuse...
     assert without_reuse.blocks_optimized >= 12

@@ -81,7 +81,14 @@ def test_table2_search_strategies(benchmark, hr_db):
         lines.append(
             f"  {name:<12} {elapsed:9.3f}s {states:8d}   ({p_time} / {p_states})"
         )
-    record_report("Table 2 search strategies", "\n".join(lines))
+    record_report(
+        "Table 2 search strategies",
+        "\n".join(lines),
+        metrics={
+            f"states_{name.lower().replace(' ', '_')}": states
+            for name, (_elapsed, states) in results.items()
+        },
+    )
 
     # Shape assertions: the paper's state counts, exactly.
     assert results["Heuristic"][1] == 1

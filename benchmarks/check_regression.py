@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Bench regression gate: compare benchmarks/results/*.json against the
+committed baselines (benchmarks/baselines.json).
+
+The benches export deterministic, work-unit-derived scalars (improvement
+percentages, affected-query counts, optimizer state counts) — not wall
+times — so the baselines are stable across machines.  A metric fails the
+gate when it moves in its *worse* direction by more than the tolerance
+(default 25%).  Metrics with no preferred direction fail on movement
+either way.
+
+Usage:
+    python benchmarks/check_regression.py            # gate (CI)
+    python benchmarks/check_regression.py --update   # re-seed baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+RESULTS_DIR = HERE / "results"
+BASELINES = HERE / "baselines.json"
+
+#: which way each metric is allowed to drift beyond tolerance.
+#: "higher" = higher is better (only a drop fails), "lower" = lower is
+#: better (only a rise fails), "either" = any drift beyond tolerance fails.
+DIRECTIONS = {
+    "n_affected": "higher",
+    "top5_improvement_percent": "higher",
+    "overall_improvement_percent": "higher",
+    "degraded_query_percent": "lower",
+    "optimization_time_increase_percent": "lower",
+    "blocks_without_reuse": "either",
+    "blocks_with_reuse": "lower",
+    "blocks_saved": "higher",
+    "states_heuristic": "either",
+    "states_two_pass": "either",
+    "states_linear": "either",
+    "states_exhaustive": "either",
+}
+
+
+def load_results() -> dict[str, dict]:
+    results = {}
+    for path in sorted(RESULTS_DIR.glob("*.json")):
+        payload = json.loads(path.read_text())
+        results[path.stem] = payload
+    return results
+
+
+def relative_delta(baseline: float, current: float) -> float:
+    """Signed drift of *current* from *baseline*, as a fraction of the
+    baseline magnitude (floored so near-zero baselines don't blow up)."""
+    scale = max(abs(baseline), 1.0)
+    return (current - baseline) / scale
+
+
+def check(tolerance_percent: float) -> int:
+    if not BASELINES.exists():
+        print(f"error: no baselines at {BASELINES}", file=sys.stderr)
+        return 2
+    baselines = json.loads(BASELINES.read_text())
+    results = load_results()
+    tolerance = tolerance_percent / 100.0
+    failures: list[str] = []
+    checked = 0
+
+    for bench, entry in sorted(baselines.items()):
+        current = results.get(bench)
+        if current is None:
+            failures.append(f"{bench}: no result produced (bench missing?)")
+            continue
+        if current.get("quick") != entry.get("quick"):
+            failures.append(
+                f"{bench}: quick-mode mismatch (baseline "
+                f"quick={entry.get('quick')}, run quick={current.get('quick')})"
+            )
+            continue
+        for metric, base_value in sorted(entry["metrics"].items()):
+            new_value = current["metrics"].get(metric)
+            if new_value is None:
+                failures.append(f"{bench}.{metric}: missing from results")
+                continue
+            checked += 1
+            drift = relative_delta(base_value, new_value)
+            direction = DIRECTIONS.get(metric, "either")
+            worse = (
+                (direction == "higher" and drift < -tolerance)
+                or (direction == "lower" and drift > tolerance)
+                or (direction == "either" and abs(drift) > tolerance)
+            )
+            marker = "FAIL" if worse else "ok"
+            print(
+                f"  [{marker:>4}] {bench}.{metric}: "
+                f"{base_value} -> {new_value} ({drift * 100:+.1f}%, "
+                f"{direction} is better)"
+            )
+            if worse:
+                failures.append(
+                    f"{bench}.{metric}: {base_value} -> {new_value} "
+                    f"({drift * 100:+.1f}% beyond {tolerance_percent:.0f}%)"
+                )
+
+    print(f"\n{checked} metrics checked against {BASELINES.name}")
+    if failures:
+        print(f"{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+def update() -> int:
+    results = load_results()
+    if not results:
+        print(f"error: no results under {RESULTS_DIR}", file=sys.stderr)
+        return 2
+    BASELINES.write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {len(results)} baselines to {BASELINES}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="overwrite baselines.json with the current results",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=25.0,
+        help="allowed drift in the worse direction, percent (default 25)",
+    )
+    args = parser.parse_args(argv)
+    if args.update:
+        return update()
+    return check(args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,8 @@ bend) are the reproduction target, not absolute counts.
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 import pytest
@@ -28,15 +30,32 @@ from repro.workload import (
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: CI quick mode — a smaller workload slice so the bench job finishes in
+#: minutes.  Committed baselines (benchmarks/baselines.json) are recorded
+#: in quick mode; the regression gate compares like with like.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+MIXED_COUNT = 60 if QUICK else 150
+COMPLEX_COUNT = 36 if QUICK else 70
+
 _REPORTS: list[tuple[str, str]] = []
 
 
-def record_report(title: str, text: str) -> None:
-    """Register a report for the terminal summary and persist it."""
+def record_report(title: str, text: str, metrics: dict | None = None) -> None:
+    """Register a report for the terminal summary and persist it.
+
+    *metrics* is an optional dict of deterministic, work-unit-derived
+    scalars; when given it is written next to the text report as JSON so
+    CI can diff it against the committed baselines
+    (``benchmarks/check_regression.py``)."""
     _REPORTS.append((title, text))
     RESULTS_DIR.mkdir(exist_ok=True)
     safe = title.lower().replace(" ", "_").replace("/", "-")
     (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+    if metrics is not None:
+        payload = {"title": title, "quick": QUICK, "metrics": metrics}
+        (RESULTS_DIR / f"{safe}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
 
 def pytest_terminal_summary(terminalreporter):
@@ -67,7 +86,7 @@ def mixed_queries(apps):
     """A standard-mix workload slice (the paper's ~92% simple / 8%
     complex)."""
     _db, schema = apps
-    return QueryGenerator(schema, seed=101).generate(150)
+    return QueryGenerator(schema, seed=101).generate(MIXED_COUNT)
 
 
 @pytest.fixture(scope="session")
@@ -81,7 +100,9 @@ def complex_queries(apps):
         agg_subquery=0.16, groupby_view=0.12, distinct_view=0.08, gbp=0.08,
         union_all=0.03, setop=0.02, or_pred=0.02, rownum_pullup=0.01,
     )
-    return QueryGenerator(schema, seed=202, weights=weights).generate(70)
+    return QueryGenerator(schema, seed=202, weights=weights).generate(
+        COMPLEX_COUNT
+    )
 
 
 def format_curve(title: str, points, extra_lines=()) -> str:

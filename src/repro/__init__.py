@@ -10,9 +10,12 @@ and workload machinery needed to regenerate the paper's evaluation.
 
 Entry points: :class:`Database`, :class:`OptimizerConfig`, the serving
 layer :class:`QueryService` / :class:`Session` (bind variables, shared
-plan cache, adaptive cursor sharing), and the optimizer sanitizer
+plan cache, adaptive cursor sharing), the optimizer sanitizer
 (:mod:`repro.analysis`, ``Database.check``, paranoid-mode
-``debug_checks``).
+``debug_checks``), and the observability layer (:mod:`repro.obs`):
+``Database.tracing()`` for the 10053-style search trace,
+``Database.explain_analyze()`` for estimated-vs-actual operator stats,
+and ``Database.snapshot()`` for the unified metrics registry.
 """
 
 from .analysis import (
@@ -31,6 +34,7 @@ from .errors import (
     StatementTimeout,
     VerificationError,
 )
+from .obs import MetricsRegistry, TraceEvent, Tracer
 from .resilience import (
     CancelToken,
     DegradationInfo,
@@ -44,7 +48,7 @@ from .resilience import (
 )
 from .service import Cursor, PlanCache, PreparedStatement, QueryService, Session
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Database",
@@ -77,5 +81,8 @@ __all__ = [
     "FaultSpec",
     "inject",
     "injection_points",
+    "MetricsRegistry",
+    "Tracer",
+    "TraceEvent",
     "__version__",
 ]

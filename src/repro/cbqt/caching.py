@@ -65,3 +65,12 @@ class DynamicSamplingCache:
             self._cache.clear()
         else:
             self._cache.pop(table_name.lower(), None)
+
+    def snapshot(self) -> dict:
+        """Accounting export for the metrics registry (collector form:
+        read at snapshot time only, zero cost on the sampling path)."""
+        return {
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "entries": len(self._cache),
+        }

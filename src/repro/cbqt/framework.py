@@ -33,6 +33,7 @@ from typing import Callable, Optional
 from ..analysis import Diagnostic, TransformationAuditor
 from ..catalog.schema import Catalog
 from ..errors import OptimizerError, TransformError
+from ..obs.trace import Tracer
 from ..optimizer.physical import CostBudgetExceeded, PhysicalOptimizer
 from ..optimizer.plans import Plan
 from ..qtree.blocks import QueryBlock, QueryNode
@@ -172,6 +173,7 @@ class CbqtFramework:
         config: Optional[CbqtConfig] = None,
         auditor: Optional[TransformationAuditor] = None,
         governor: Optional[SearchGovernor] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self._catalog = catalog
         self._physical = physical
@@ -184,6 +186,9 @@ class CbqtFramework:
         #: None unless a deadline/state budget/cancel token is armed —
         #: the idle search path pays one ``is None`` test per state
         self._governor = governor
+        #: None unless tracing is armed (``Database.tracing()``) — same
+        #: guard discipline, so the untraced path emits nothing
+        self._tracer = tracer
 
     # -- public ---------------------------------------------------------------
 
@@ -238,7 +243,8 @@ class CbqtFramework:
                 if cls.name not in self.config.disabled_transformations
             }
         return apply_heuristic_phase(
-            root, self._catalog, enabled, auditor=self._auditor
+            root, self._catalog, enabled,
+            auditor=self._auditor, tracer=self._tracer,
         )
 
     def _run_cost_based(
@@ -260,6 +266,18 @@ class CbqtFramework:
             config.linear_threshold,
             config.two_pass_total_threshold,
         )
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(
+                "cbqt.search",
+                transformation=transformation.name,
+                strategy=strategy_name,
+                objects=len(objects),
+                alternatives=[
+                    [alt.label for alt in obj.alternatives] for obj in objects
+                ],
+            )
+
         # Anything escaping the search's infeasible-state net (injected
         # faults, verifier violations, costing bugs) is attributed to
         # this transformation for the ladder/quarantine, unless an inner
@@ -294,6 +312,17 @@ class CbqtFramework:
             # A transformation may synthesise constructs that re-enable
             # the imperative rules (§3.1).
             root = self._heuristic_phase(root)
+        if tracer is not None:
+            tracer.emit(
+                "cbqt.decision",
+                transformation=transformation.name,
+                best_state=result.best_state,
+                best_cost=result.best_cost,
+                baseline_cost=decision.baseline_cost,
+                states_evaluated=result.states_evaluated,
+                order=result.order,
+                applied=decision.applied_labels,
+            )
         return root
 
     def _search(
@@ -305,13 +334,39 @@ class CbqtFramework:
     ) -> SearchResult:
         config = self.config
         governor = self._governor
+        tracer = self._tracer
         best_so_far = [math.inf]
+
+        def trace_state(
+            state: tuple[int, ...],
+            cost: float,
+            prune: Optional[str],
+            hits_before: int = -1,
+            misses_before: int = -1,
+        ) -> None:
+            stats = self._physical.annotations.stats
+            assert tracer is not None
+            tracer.emit(
+                "cbqt.state",
+                transformation=transformation_name,
+                state=state,
+                cost=cost,
+                prune=prune,
+                annotation_hits=(
+                    stats.hits - hits_before if hits_before >= 0 else 0
+                ),
+                annotation_misses=(
+                    stats.misses - misses_before if misses_before >= 0 else 0
+                ),
+            )
 
         def cost_fn(state: tuple[int, ...]) -> float:
             # Governor first: once the deadline or state budget is gone,
             # every remaining state is refused and the strategies drain
             # with the best-so-far incumbent (cancel tokens raise here).
             if governor is not None and not governor.admit():
+                if tracer is not None:
+                    trace_state(state, math.inf, "governor")
                 return math.inf
             faults.check("cbqt.costing")
             budget = (
@@ -319,35 +374,68 @@ class CbqtFramework:
                 if config.cost_cutoff and math.isfinite(best_so_far[0])
                 else None
             )
+            if tracer is not None:
+                before = self._physical.annotations.stats
+                hits_before, misses_before = before.hits, before.misses
             # VerificationError deliberately escapes this net: a state
             # whose rewrite corrupted the tree must abort the search, not
             # be silently costed at infinity.  So does everything that is
             # not plain state infeasibility (FaultInjected, timeouts) —
             # the degradation ladder, not this net, handles those.
+            # CostBudgetExceeded before OptimizerError (its base class):
+            # a budget abort is the §3.4.1 cut-off, not infeasibility.
             try:
                 candidate = self._apply_state(
                     root.clone(), objects, state, audit=True
                 )
                 plan = self._physical.optimize(candidate, budget)
-            except (TransformError, CostBudgetExceeded, OptimizerError):
+            except CostBudgetExceeded:
+                if tracer is not None:
+                    trace_state(
+                        state, math.inf, "cost-cutoff",
+                        hits_before, misses_before,
+                    )
+                return math.inf
+            except (TransformError, OptimizerError):
+                if tracer is not None:
+                    trace_state(
+                        state, math.inf, "infeasible",
+                        hits_before, misses_before,
+                    )
                 return math.inf
             if self._auditor is not None:
                 self._auditor.audit_plan(plan, transformation_name, state)
             if plan.cost < best_so_far[0]:
                 best_so_far[0] = plan.cost
+            if tracer is not None:
+                trace_state(
+                    state, plan.cost, None, hits_before, misses_before
+                )
             return plan.cost
 
         alternatives = [len(obj.alternatives) for obj in objects]
         strategy = STRATEGIES[strategy_name]
         if strategy_name == "iterative":
-            return strategy(
+            result = strategy(
                 alternatives,
                 cost_fn,
                 max_states=config.iterative_max_states,
                 restarts=config.iterative_restarts,
                 seed=config.seed,
             )
-        return strategy(alternatives, cost_fn)
+        else:
+            result = strategy(alternatives, cost_fn)
+        if (
+            tracer is not None
+            and governor is not None
+            and governor.exhausted is not None
+        ):
+            tracer.emit(
+                "cbqt.governor",
+                transformation=transformation_name,
+                **governor.stats().as_dict(),
+            )
+        return result
 
     def _apply_state(
         self,

@@ -39,6 +39,9 @@ class SearchResult:
     best_cost: float
     states_evaluated: int
     costs: dict[tuple[int, ...], float] = field(default_factory=dict)
+    #: states in first-evaluation order — the walk the strategy actually
+    #: took, recorded for the optimizer trace (``cbqt.decision`` events)
+    order: list[tuple[int, ...]] = field(default_factory=list)
 
 
 class _Memo:
@@ -48,6 +51,7 @@ class _Memo:
     def __init__(self, cost_fn: CostFn):
         self._fn = cost_fn
         self.costs: dict[tuple[int, ...], float] = {}
+        self.order: list[tuple[int, ...]] = []
 
     def __call__(self, state: tuple[int, ...]) -> float:
         cached = self.costs.get(state)
@@ -55,12 +59,17 @@ class _Memo:
             return cached
         cost = self._fn(state)
         self.costs[state] = cost
+        self.order.append(state)
         return cost
 
     def result(self) -> SearchResult:
         best_state = min(self.costs, key=lambda s: self.costs[s])
         return SearchResult(
-            best_state, self.costs[best_state], len(self.costs), dict(self.costs)
+            best_state,
+            self.costs[best_state],
+            len(self.costs),
+            dict(self.costs),
+            list(self.order),
         )
 
 

@@ -20,9 +20,18 @@ INDEX / SELECT), the shell understands meta commands:
 .quarantine [stats|reset [NAME]]  show or reset the transformation
                       quarantine (repeatedly failing transformations
                       are auto-disabled until reset)
+.metrics [json]       unified metrics snapshot (optimizer, executor,
+                      plan cache, quarantine, dynamic sampling)
+.trace on|off|show|clear  10053-style optimizer trace: arm, print the
+                      buffered events, or clear the buffer
 .timeout SECONDS|off  statement timeout for subsequent queries
 .load FILE            run statements from a SQL script
 .quit                 exit
+
+``EXPLAIN SELECT ...;`` and ``EXPLAIN ANALYZE SELECT ...;`` work as SQL
+verbs: the former prints the plan without running it, the latter runs
+the query with operator profiling and prints estimated vs. actual rows,
+per-operator Q-error, invocations, and self-time.
 
 Queries run through the shared plan cache (:class:`repro.QueryService`);
 ``.explain on`` output shows each statement's cache disposition.  The
@@ -30,6 +39,11 @@ module also provides subcommands: ``python -m repro cache-stats
 [script ...]`` runs the scripts and prints the plan-cache counters,
 ``python -m repro explain "SQL" [script ...]`` explains one query
 (including cache counters) after running the scripts, ``python -m
+repro explain-analyze "SQL" [script ...]`` runs it with operator
+profiling and prints estimated-vs-actual output, ``python -m repro
+trace "SQL" [script ...]`` prints the optimizer trace of one
+optimization, ``python -m repro metrics [--json] [script ...]`` runs
+the scripts and prints the unified metrics snapshot, ``python -m
 repro check "SQL" [script ...]`` runs the optimizer sanitizer over the
 query, printing every invariant violation attributed to the
 transformation + CBQT state that produced it (exit status 1 if any
@@ -47,6 +61,7 @@ from typing import Optional, TextIO
 from . import Database, OptimizerConfig, QueryService
 from .cbqt.framework import CbqtConfig
 from .errors import ReproError
+from .obs import Tracer, annotation_lines
 
 PROMPT = "repro> "
 CONTINUATION = "   ...> "
@@ -110,6 +125,8 @@ class Shell:
             if head == "CREATE":
                 self.db.execute_ddl(statement)
                 self.echo("ok")
+            elif head == "EXPLAIN":
+                self._run_explain(statement)
             elif head == "SELECT" or statement.lstrip().startswith("("):
                 self._run_query(statement)
             elif head == "INSERT":
@@ -120,20 +137,24 @@ class Shell:
         except ReproError as exc:
             self.echo(f"error: {exc}")
 
+    def _run_explain(self, statement: str) -> None:
+        """The EXPLAIN / EXPLAIN ANALYZE SQL verbs."""
+        rest = statement.lstrip()[len("EXPLAIN"):].lstrip()
+        if rest.upper().startswith("ANALYZE"):
+            sql = rest[len("ANALYZE"):].lstrip()
+            result = self.service.execute(
+                sql, timeout=self.timeout, analyze=True
+            )
+            self.echo(result.explain_analyze())
+        else:
+            self.echo(self.service.explain(rest))
+
     def _run_query(self, sql: str) -> None:
         result = self.service.execute(sql, timeout=self.timeout)
         if self.show_explain:
-            self.echo(f"-- cache: {result.cache_status}")
-            self.echo("-- transformed: " + result.report.transformed_sql)
-            if result.report.degradation is not None:
-                self.echo(f"-- degraded: {result.report.degradation.describe()}")
-            if result.report.quarantined:
-                self.echo(
-                    f"-- quarantined: {', '.join(result.report.quarantined)}"
-                )
+            for line in annotation_lines(result.report, result.cache_status):
+                self.echo(line)
             self.echo(result.plan.describe())
-            for diagnostic in result.report.diagnostics:
-                self.echo(f"-- check: {diagnostic.format()}")
         if self.show_decisions:
             for decision in result.report.decisions:
                 self.echo(
@@ -312,6 +333,36 @@ class Shell:
         else:
             self.echo("usage: .quarantine [stats|reset [NAME]]")
 
+    def _meta_metrics(self, args) -> None:
+        if self.db.metrics is None:
+            self.echo("metrics detached")
+            return
+        if args and args[0].lower() == "json":
+            self.echo(self.db.metrics.to_json(indent=2))
+        else:
+            self.echo(self.db.metrics.format_table())
+
+    def _meta_trace(self, args) -> None:
+        action = args[0].lower() if args else "show"
+        if action == "on":
+            if self.db.tracer is None:
+                self.db.tracer = Tracer()
+            self.echo("trace on")
+        elif action == "off":
+            self.db.tracer = None
+            self.echo("trace off")
+        elif action == "show":
+            if self.db.tracer is None:
+                self.echo("trace off (arm with .trace on)")
+            else:
+                self.echo(self.db.tracer.format_table())
+        elif action == "clear":
+            if self.db.tracer is not None:
+                self.db.tracer.clear()
+            self.echo("trace cleared")
+        else:
+            self.echo("usage: .trace on|off|show|clear")
+
     def _meta_timeout(self, args) -> None:
         if not args:
             current = self.timeout
@@ -428,11 +479,73 @@ def _cmd_quarantine(args: list[str], shell: Shell) -> int:
     return 0
 
 
+def _cmd_explain_analyze(args: list[str], shell: Shell) -> int:
+    """``repro explain-analyze "SQL" [script ...]`` — run the scripts
+    (schema / data setup), then execute the query with operator
+    profiling and print estimated vs. actual rows with Q-error."""
+    if not args:
+        shell.echo('usage: explain-analyze "SQL" [script ...]')
+        return 2
+    sql, scripts = args[0], args[1:]
+    for path in scripts:
+        with open(path) as handle:
+            shell.run_script(handle.read())
+    try:
+        result = shell.service.execute(sql, analyze=True)
+    except ReproError as exc:
+        shell.echo(f"error: {exc}")
+        return 1
+    shell.echo(result.explain_analyze())
+    return 0
+
+
+def _cmd_trace(args: list[str], shell: Shell) -> int:
+    """``repro trace "SQL" [script ...]`` — run the scripts, then
+    optimize the query with the 10053-style trace armed and print every
+    search event."""
+    if not args:
+        shell.echo('usage: trace "SQL" [script ...]')
+        return 2
+    sql, scripts = args[0], args[1:]
+    for path in scripts:
+        with open(path) as handle:
+            shell.run_script(handle.read())
+    try:
+        with shell.db.tracing() as tracer:
+            shell.db.optimize(sql)
+    except ReproError as exc:
+        shell.echo(f"error: {exc}")
+        return 1
+    shell.echo(tracer.format_table())
+    return 0
+
+
+def _cmd_metrics(args: list[str], shell: Shell) -> int:
+    """``repro metrics [--json] [script ...]`` — run the scripts, then
+    print the unified metrics snapshot."""
+    as_json = False
+    if args and args[0] == "--json":
+        as_json = True
+        args = args[1:]
+    for path in args:
+        with open(path) as handle:
+            shell.run_script(handle.read())
+    metrics = shell.db.metrics
+    if metrics is None:
+        shell.echo("metrics detached")
+        return 1
+    shell.echo(metrics.to_json(indent=2) if as_json else metrics.format_table())
+    return 0
+
+
 SUBCOMMANDS = {
     "cache-stats": _cmd_cache_stats,
     "check": _cmd_check,
     "explain": _cmd_explain,
+    "explain-analyze": _cmd_explain_analyze,
+    "metrics": _cmd_metrics,
     "quarantine": _cmd_quarantine,
+    "trace": _cmd_trace,
 }
 
 

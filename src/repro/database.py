@@ -18,8 +18,9 @@ Typical use::
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Iterator, Optional, TextIO
 
 from .analysis import DiagnosticReport, TransformationAuditor
 from .catalog.schema import Catalog, Index, TableDef
@@ -35,6 +36,12 @@ from .errors import (
     ReproError,
     StatementCancelled,
     StatementTimeout,
+)
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    annotation_lines,
+    format_explain_analyze,
 )
 from .optimizer.annotations import AnnotationStore
 from .optimizer.costmodel import DEFAULT_COST_MODEL, CostModel
@@ -129,17 +136,7 @@ class OptimizedQuery:
         return self.plan.cost
 
     def explain(self) -> str:
-        lines = [f"-- transformed: {self.transformed_sql}"]
-        report = self.report
-        if report.degradation is not None:
-            lines.append(f"-- degraded: {report.degradation.describe()}")
-        if report.quarantined:
-            lines.append(f"-- quarantined: {', '.join(report.quarantined)}")
-        if report.governor is not None and report.governor.exhausted:
-            lines.append(f"-- governor: {report.governor.describe()}")
-        # paranoid-mode findings (errors raise before we get here, so
-        # anything surviving into the report is a warning)
-        lines.extend(f"-- check: {d.format()}" for d in report.diagnostics)
+        lines = annotation_lines(self.report)
         lines.append(self.plan.describe())
         return "\n".join(lines)
 
@@ -168,13 +165,17 @@ class QueryResult:
     def work_units(self) -> float:
         return self.exec_stats.work_units
 
-    def explain_analyze(self) -> str:
-        """EXPLAIN ANALYZE output: the plan with estimated and actual
-        row counts side by side."""
-        return (
-            f"-- transformed: {self.report.transformed_sql}\n"
-            + self.plan.describe(actual_rows=self.exec_stats.node_rows)
+    def explain_analyze(self, timing: bool = True) -> str:
+        """EXPLAIN ANALYZE output: the annotation header plus the plan
+        with estimated vs. actual rows, per-operator Q-error, invocation
+        counts, and (when the run was profiled and *timing* is on)
+        wall-clock self-time per operator.  ``timing=False`` yields
+        deterministic output for golden tests."""
+        lines = annotation_lines(self.report, self.cache_status)
+        lines.append(
+            format_explain_analyze(self.plan, self.exec_stats, timing)
         )
+        return "\n".join(lines)
 
     @property
     def total_time_units(self) -> float:
@@ -199,6 +200,19 @@ class Database:
             self.config.resilience.quarantine_statement_threshold,
             self.config.resilience.quarantine_global_threshold,
         )
+        #: unified metrics registry (set to None to detach entirely —
+        #: every recording site is guarded on it); collectors read the
+        #: subsystems' own accounting at snapshot time only
+        self.metrics: Optional[MetricsRegistry] = MetricsRegistry()
+        self.metrics.register_collector(
+            "quarantine", self.quarantine.snapshot
+        )
+        self.metrics.register_collector(
+            "dynamic_sampling", self._sampling_cache.snapshot
+        )
+        #: 10053-style optimizer trace; None (the default) emits nothing.
+        #: Arm with :meth:`tracing` or assign a Tracer directly.
+        self.tracer: Optional[Tracer] = None
 
     # -- schema & data -------------------------------------------------------
 
@@ -254,6 +268,55 @@ class Database:
         if expensive_cost is not None:
             self.catalog.register_expensive_function(name, expensive_cost)
 
+    # -- observability ---------------------------------------------------------
+
+    @contextmanager
+    def tracing(
+        self, capacity: int = 4096, sink: Optional[TextIO] = None
+    ) -> Iterator[Tracer]:
+        """Arm the 10053-style optimizer trace for the with-block.
+
+        Every optimization inside the block emits ``cbqt.*`` and
+        ``heuristic.*`` events into the yielded :class:`Tracer` (and, as
+        JSON lines, into *sink* when given).  Nested blocks shadow the
+        outer tracer; on exit the previous tracer is restored.
+        """
+        tracer = Tracer(capacity, sink)
+        previous = self.tracer
+        self.tracer = tracer
+        try:
+            yield tracer
+        finally:
+            self.tracer = previous
+
+    def snapshot(self) -> dict:
+        """One consistent export of every metric the instance kept:
+        counters, histogram percentiles, and the absorbed subsystem
+        accounting (quarantine, dynamic sampling, and — when a
+        :class:`~repro.service.QueryService` wraps this database — the
+        plan cache).  Empty when ``metrics`` was detached."""
+        if self.metrics is None:
+            return {}
+        return self.metrics.snapshot()
+
+    def _record_optimized(self, optimized: OptimizedQuery) -> None:
+        metrics = self.metrics
+        if metrics is None:
+            return
+        report = optimized.report
+        metrics.counter("optimizer.statements").inc()
+        metrics.histogram("optimizer.states").record(report.total_states)
+        metrics.histogram("optimizer.seconds").record(report.elapsed_seconds)
+        if report.degradation is not None:
+            metrics.counter("optimizer.degradations").inc()
+            metrics.counter(
+                f"optimizer.degraded.{report.degradation.level}"
+            ).inc()
+        if report.quarantined:
+            metrics.counter("optimizer.quarantined_statements").inc()
+        if report.governor is not None and report.governor.exhausted:
+            metrics.counter("optimizer.governor_exhaustions").inc()
+
     # -- optimization & execution ----------------------------------------------
 
     def parse(self, sql: str) -> QueryNode:
@@ -297,7 +360,9 @@ class Database:
         config = config or self.config
         resilience = config.resilience
         if not resilience.fallback:
-            return self._optimize_attempt(tree, sql, config, token)
+            optimized = self._optimize_attempt(tree, sql, config, token)
+            self._record_optimized(optimized)
+            return optimized
 
         all_names = _all_transformation_names()
         quarantine = self.quarantine
@@ -379,6 +444,7 @@ class Database:
                     attempts=attempts,
                     errors=list(failures),
                 )
+            self._record_optimized(optimized)
             return optimized
         assert last_error is not None
         raise last_error
@@ -408,7 +474,8 @@ class Database:
                 token,
             )
         framework = CbqtFramework(
-            self.catalog, physical, config.cbqt, governor=governor
+            self.catalog, physical, config.cbqt,
+            governor=governor, tracer=self.tracer,
         )
         tree, plan, report = framework.optimize(tree)
         return OptimizedQuery(sql, tree, plan, report, physical.counters, columns)
@@ -471,11 +538,14 @@ class Database:
         optimize_seconds: float = 0.0,
         cache_status: Optional[str] = None,
         token: Optional[CancelToken] = None,
+        analyze: bool = False,
     ) -> QueryResult:
         """Run an already-optimized query with the given bind values.
 
         *token* arms cooperative cancellation: the executor's row loops
-        poll it and abort with a typed error when it trips."""
+        poll it and abort with a typed error when it trips.  *analyze*
+        profiles every operator (invocations + wall-clock self-time) for
+        :meth:`QueryResult.explain_analyze`."""
         config = config or self.config
         physical = self._physical(config)
         executor = Executor(
@@ -488,9 +558,14 @@ class Database:
         started = time.perf_counter()
         with activate(token):
             rows, stats = executor.execute(
-                optimized.plan, binds=binds, token=token
+                optimized.plan, binds=binds, token=token, analyze=analyze
             )
         execute_seconds = time.perf_counter() - started
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("executor.statements").inc()
+            metrics.histogram("executor.seconds").record(execute_seconds)
+            metrics.histogram("executor.work_units").record(stats.work_units)
         return QueryResult(
             rows,
             optimized.columns,
@@ -509,12 +584,14 @@ class Database:
         binds: Optional[dict] = None,
         timeout: Optional[float] = None,
         token: Optional[CancelToken] = None,
+        analyze: bool = False,
     ) -> QueryResult:
         """Optimize and run a query (one-shot, no plan cache).
 
         *timeout* bounds the whole statement (optimize + execute) in
         wall-clock seconds; expiry raises
-        :class:`~repro.errors.StatementTimeout`."""
+        :class:`~repro.errors.StatementTimeout`.  *analyze* arms the
+        per-operator execution profiler (EXPLAIN ANALYZE)."""
         if token is None and timeout is not None:
             token = CancelToken(timeout)
         elif token is not None and timeout is not None:
@@ -529,7 +606,22 @@ class Database:
                 binds,
                 optimize_seconds=optimize_seconds,
                 token=token,
+                analyze=analyze,
             )
+
+    def explain_analyze(
+        self,
+        sql: str,
+        config: Optional[OptimizerConfig] = None,
+        binds: Optional[dict] = None,
+        timing: bool = True,
+    ) -> str:
+        """EXPLAIN ANALYZE: optimize and *run* the query with operator
+        profiling armed, then render estimated vs. actual rows, Q-error,
+        invocations, and self-time per operator.  ``timing=False``
+        produces deterministic output."""
+        result = self.execute(sql, config, binds, analyze=True)
+        return result.explain_analyze(timing=timing)
 
     def reference_execute(
         self, sql: str, binds: Optional[dict] = None

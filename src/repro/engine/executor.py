@@ -16,6 +16,7 @@ cached keyed on the correlation values — the caching behaviour §2.1.1 and
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
@@ -67,6 +68,13 @@ class ExecStats:
     #: actual rows emitted per plan node (keyed by id(plan)); consumed by
     #: Plan.describe(actual_rows=...) for EXPLAIN ANALYZE output
     node_rows: dict[int, int] = field(default_factory=dict)
+    #: filled only under ``analyze=True``: times each node's generator
+    #: was instantiated (a parameterised NLJ inner re-runs per outer row)
+    node_invocations: dict[int, int] = field(default_factory=dict)
+    #: filled only under ``analyze=True``: inclusive wall-clock seconds
+    #: spent producing each node's rows (children included; EXPLAIN
+    #: ANALYZE subtracts direct children to report self-time)
+    node_seconds: dict[int, float] = field(default_factory=dict)
 
     def charge(self, units: float) -> None:
         self.work_units += units
@@ -100,6 +108,7 @@ class Executor:
         binding: Optional[Row] = None,
         binds: Optional[dict] = None,
         token: Optional[CancelToken] = None,
+        analyze: bool = False,
     ) -> tuple[list[tuple], ExecStats]:
         """Run *plan* to completion; returns output tuples and stats.
 
@@ -107,9 +116,12 @@ class Executor:
         :class:`~repro.sql.ast.BindParam`) to their values for this run.
         *token* arms cooperative cancellation: row loops poll it and the
         run aborts with StatementTimeout/StatementCancelled when it trips.
+        *analyze* wraps every node's row generator in a profiler counting
+        invocations and wall-clock inclusive time (EXPLAIN ANALYZE); off,
+        the dispatch path pays one boolean test and fills neither dict.
         """
         stats = ExecStats()
-        run = _PlanRun(self, stats, binds, token)
+        run = _PlanRun(self, stats, binds, token, analyze)
         rows = [run.output_tuple(row) for row in run.rows(plan, binding or {})]
         stats.rows_out = len(rows)
         return rows, stats
@@ -120,7 +132,8 @@ class _PlanRun:
 
     def __init__(self, executor: Executor, stats: ExecStats,
                  binds: Optional[dict] = None,
-                 token: Optional[CancelToken] = None):
+                 token: Optional[CancelToken] = None,
+                 analyze: bool = False):
         self._executor = executor
         self._storage = executor._storage
         self._catalog = executor._catalog
@@ -128,6 +141,8 @@ class _PlanRun:
         #: None in the common case — hot loops hoist ``token.check`` into
         #: a local and pay one ``is None`` test per row when disarmed
         self._token = token
+        #: EXPLAIN ANALYZE profiling; False keeps dispatch allocation-free
+        self._analyze = analyze
         self.stats = stats
         self._runner = TisSubqueryRunner(self)
         self._compiler = ExpressionCompiler(
@@ -166,7 +181,30 @@ class _PlanRun:
         method = getattr(self, f"_run_{name.lower()}", None)
         if method is None:
             raise UnsupportedError(f"no executor for plan node {name}")
-        return method(plan, binding)
+        if not self._analyze:
+            return method(plan, binding)
+        node_id = id(plan)
+        invocations = self.stats.node_invocations
+        invocations[node_id] = invocations.get(node_id, 0) + 1
+        return self._profiled(method(plan, binding), node_id)
+
+    def _profiled(self, rows: Iterator[Row], node_id: int) -> Iterator[Row]:
+        """Meter one node's generator: wall-clock spent inside ``next()``
+        (children included — they are metered wrappers themselves, and
+        EXPLAIN ANALYZE subtracts direct children for self-time)."""
+        seconds = self.stats.node_seconds
+        clock = time.perf_counter
+        while True:
+            start = clock()
+            try:
+                row = next(rows)
+            except StopIteration:
+                seconds[node_id] = (
+                    seconds.get(node_id, 0.0) + clock() - start
+                )
+                return
+            seconds[node_id] = seconds.get(node_id, 0.0) + clock() - start
+            yield row
 
     # -- leaves ---------------------------------------------------------------
 

@@ -1,0 +1,48 @@
+"""Observability layer: optimizer search tracing, execution profiling,
+and the unified metrics registry.
+
+Industrial optimizers live and die by their telemetry — Oracle's 10053
+trace records every transformation state the CBQT search enumerated and
+why states were pruned, and estimated-vs-actual feedback from real
+executions is the load-bearing practice production optimizers rely on.
+This package supplies the three surfaces, all zero-cost when off:
+
+* :class:`~repro.obs.trace.Tracer` — a structured trace-event stream
+  (ring buffer + optional JSONL sink) emitted from the CBQT search
+  (per-state records: transformation, state bit-vector, estimated cost,
+  cut-off/prune reason, annotation-cache hit/miss deltas, interleaving
+  decisions) and from the heuristic pipeline (rule fired, before/after
+  tree signatures).  Armed via ``Database.tracing()``; every call site
+  is an ``is None`` guard, so the untroubled path constructs no trace
+  events at all;
+* ``EXPLAIN ANALYZE`` — executor instrumentation counting actual rows,
+  invocations, and wall-clock self-time per physical operator, rendered
+  by :func:`~repro.obs.explain.format_explain_analyze` with per-operator
+  Q-error and a plan-level max-Q-error summary;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters and histograms
+  (with percentile snapshots) plus pluggable collectors that absorb the
+  engine's pre-existing accounting (plan cache, dynamic sampling cache,
+  quarantine) behind one export surface: ``Database.snapshot()``,
+  ``.metrics`` in the shell, ``python -m repro metrics --json``.
+"""
+
+from .explain import (
+    annotation_lines,
+    format_explain_analyze,
+    operator_profiles,
+    qerror,
+)
+from .metrics import Counter, Histogram, MetricsRegistry
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+    "annotation_lines",
+    "format_explain_analyze",
+    "operator_profiles",
+    "qerror",
+]

@@ -1,0 +1,116 @@
+"""EXPLAIN rendering helpers: unified annotation lines and EXPLAIN
+ANALYZE (estimated vs. actual) output.
+
+Two jobs:
+
+* :func:`annotation_lines` is the single place the ``-- xxx:`` header
+  lines of every explain surface are assembled (the Database facade,
+  the shell, and EXPLAIN ANALYZE all render through it, so degradation,
+  quarantine, governor, and sanitizer annotations stay consistent);
+* :func:`format_explain_analyze` renders a plan with per-operator
+  estimated rows, actual rows, invocation counts, wall-clock self-time,
+  and Q-error, plus a plan-level max-Q-error summary — the
+  estimated-vs-actual feedback loop industrial optimizers audit plans
+  with.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cbqt.framework import OptimizationReport
+    from ..engine.executor import ExecStats
+    from ..optimizer.plans import Plan
+
+
+def annotation_lines(
+    report: "OptimizationReport", cache_status: Optional[str] = None
+) -> list[str]:
+    """The ``-- xxx:`` header lines for one optimized query, in the
+    canonical order: cache disposition (when known), transformed SQL,
+    degradation, quarantine, governor, sanitizer findings."""
+    lines = []
+    if cache_status is not None:
+        lines.append(f"-- cache: {cache_status}")
+    lines.append(f"-- transformed: {report.transformed_sql}")
+    if report.degradation is not None:
+        lines.append(f"-- degraded: {report.degradation.describe()}")
+    if report.quarantined:
+        lines.append(f"-- quarantined: {', '.join(report.quarantined)}")
+    if report.governor is not None and report.governor.exhausted:
+        lines.append(f"-- governor: {report.governor.describe()}")
+    # paranoid-mode findings (errors raise before explain is reachable,
+    # so anything surviving into the report is a warning)
+    lines.extend(f"-- check: {d.format()}" for d in report.diagnostics)
+    return lines
+
+
+def qerror(estimated: float, actual: float) -> float:
+    """The Q-error of one cardinality estimate: the factor by which the
+    estimate misses the observation, symmetric in direction and floored
+    at one row on both sides (so empty results stay finite)."""
+    est = max(float(estimated), 1.0)
+    act = max(float(actual), 1.0)
+    return max(est / act, act / est)
+
+
+def operator_profiles(plan: "Plan", stats: "ExecStats") -> list[dict]:
+    """Per-operator estimated-vs-actual profile, pre-order.
+
+    Each entry: ``plan``, ``depth``, ``label``, ``estimated``,
+    ``actual``, ``qerror``, ``invocations``, ``self_seconds`` (inclusive
+    time minus direct children's inclusive time; 0.0 when the run was
+    not profiled)."""
+    profiles: list[dict] = []
+    node_rows = stats.node_rows
+    node_invocations = stats.node_invocations
+    node_seconds = stats.node_seconds
+
+    def visit(node: "Plan", depth: int) -> None:
+        children = node.children()
+        inclusive = node_seconds.get(id(node), 0.0)
+        child_time = sum(node_seconds.get(id(c), 0.0) for c in children)
+        actual = node_rows.get(id(node), 0)
+        profiles.append({
+            "plan": node,
+            "depth": depth,
+            "label": node.label(),
+            "estimated": node.cardinality,
+            "actual": actual,
+            "qerror": qerror(node.cardinality, actual),
+            "invocations": node_invocations.get(id(node), 0),
+            "self_seconds": max(inclusive - child_time, 0.0),
+        })
+        for child in children:
+            visit(child, depth + 1)
+
+    visit(plan, 0)
+    return profiles
+
+
+def format_explain_analyze(
+    plan: "Plan", stats: "ExecStats", timing: bool = True
+) -> str:
+    """EXPLAIN ANALYZE rendering: the operator tree with estimated and
+    actual rows, Q-error, invocation counts, and (when *timing*)
+    wall-clock self-time per operator, followed by a plan-level summary.
+
+    With ``timing=False`` the output is fully deterministic — the golden
+    tests rely on that."""
+    profiles = operator_profiles(plan, stats)
+    lines = []
+    for profile in profiles:
+        detail = (
+            f"est={profile['estimated']:.0f} actual={profile['actual']} "
+            f"q={profile['qerror']:.2f} invocations={profile['invocations']}"
+        )
+        if timing:
+            detail += f" self={profile['self_seconds'] * 1000:.1f}ms"
+        lines.append("  " * profile["depth"] + f"{profile['label']}  ({detail})")
+    worst = max(profiles, key=lambda p: p["qerror"])
+    lines.append(
+        f"-- max q-error: {worst['qerror']:.2f} at {worst['label']}"
+    )
+    lines.append(f"-- actual rows out: {stats.rows_out}")
+    return "\n".join(lines)

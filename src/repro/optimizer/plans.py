@@ -48,6 +48,12 @@ class Plan:
             lines.append(child.describe(indent + 1, actual_rows))
         return "\n".join(lines)
 
+    def walk(self) -> Iterable["Plan"]:
+        """Pre-order iteration over this node and all descendants."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
     def total_operator_count(self) -> int:
         return 1 + sum(c.total_operator_count() for c in self.children())
 

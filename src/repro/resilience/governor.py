@@ -47,6 +47,13 @@ class GovernorStats:
             f"estimations ({self.exhausted} exhausted); best-so-far plan kept"
         )
 
+    def as_dict(self) -> dict:
+        """JSON-friendly form for trace events and metrics snapshots."""
+        return {
+            "cost_estimations": self.cost_estimations,
+            "exhausted": self.exhausted,
+        }
+
 
 class SearchGovernor:
     """Per-statement wall-clock + cost-estimation budget for the search."""

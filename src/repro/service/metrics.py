@@ -3,6 +3,12 @@
 Mirrors the accounting Oracle exposes for the library cache
 (V$LIBRARYCACHE / V$SQL): hits, misses, invalidations, evictions,
 re-optimizations, plus latency accumulators split by phase.
+
+These counters are also absorbed into the database-wide
+:class:`~repro.obs.metrics.MetricsRegistry`:
+:class:`~repro.service.QueryService` registers its ``cache_stats`` as a
+``plan_cache`` collector, so ``Database.snapshot()`` includes this
+accounting without adding any cost to the serving path.
 """
 
 from __future__ import annotations

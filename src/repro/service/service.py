@@ -141,6 +141,13 @@ class QueryService:
         self.cache = PlanCache(capacity, self.metrics)
         self.reoptimize_threshold = reoptimize_threshold
         self.caching = caching
+        # surface the plan-cache accounting in Database.snapshot();
+        # collectors run at snapshot time only, so this costs nothing
+        # on the serving path
+        if database.metrics is not None:
+            database.metrics.register_collector(
+                "plan_cache", self.cache_stats
+            )
 
     # -- session / statement construction ----------------------------------
 
@@ -160,6 +167,7 @@ class QueryService:
         config: Optional[OptimizerConfig] = None,
         timeout: Optional[float] = None,
         token: Optional[CancelToken] = None,
+        analyze: bool = False,
     ) -> QueryResult:
         """Serve one execution: soft parse against the plan cache, hard
         parse (with bind peeking) on miss, adaptive re-optimization on
@@ -167,7 +175,10 @@ class QueryService:
 
         *timeout* bounds the whole statement (optimize + execute) in
         wall-clock seconds; *token* allows cross-thread cancellation.
-        Both abort with a typed error and never poison the plan cache."""
+        Both abort with a typed error and never poison the plan cache.
+        *analyze* arms the per-operator execution profiler so the result
+        supports full :meth:`~repro.database.QueryResult.explain_analyze`
+        output (the plan itself is still cached and shared normally)."""
         if token is None and timeout is not None:
             token = CancelToken()
         if token is not None and timeout is not None:
@@ -185,6 +196,7 @@ class QueryService:
                     optimize_seconds=optimize_seconds,
                     cache_status=status,
                     token=token,
+                    analyze=analyze,
                 )
         except StatementTimeout:
             self.metrics.bump("timeouts")

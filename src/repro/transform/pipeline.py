@@ -27,6 +27,7 @@ from .base import Transformation, apply_everywhere
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..analysis import TransformationAuditor
+    from ..obs.trace import Tracer
 from .costbased import (
     GroupByPlacement,
     GroupByViewMerging,
@@ -83,6 +84,7 @@ def apply_heuristic_phase(
     enabled: set[str] | None = None,
     rounds: int = 4,
     auditor: "Optional[TransformationAuditor]" = None,
+    tracer: "Optional[Tracer]" = None,
 ) -> QueryNode:
     """Run the heuristic transformations to a fixpoint.
 
@@ -90,18 +92,34 @@ def apply_heuristic_phase(
     When an *auditor* is given (paranoid mode), the query tree is
     re-verified after every transformation that rewrote it, so a
     violation is blamed on the exact heuristic rule that introduced it.
+    When a *tracer* is armed, every rewriting rule application emits a
+    ``heuristic.rule`` event with the tree's before/after structural
+    signatures; the untraced path computes neither.
     """
     transformations = [
         t for t in build_heuristic_transformations(catalog)
         if enabled is None or t.name in enabled
     ]
-    for _ in range(rounds):
+    for round_no in range(rounds):
         changed = False
         for transformation in transformations:
             targets = transformation.find_targets(root)
             if targets:
+                if tracer is not None:
+                    from ..qtree import signature
+
+                    before_sig = signature(root)
                 root = apply_everywhere(transformation, root)
                 changed = True
+                if tracer is not None:
+                    tracer.emit(
+                        "heuristic.rule",
+                        rule=transformation.name,
+                        round=round_no,
+                        targets=len(targets),
+                        before=before_sig,
+                        after=signature(root),
+                    )
                 if auditor is not None:
                     with blame(transformation.name):
                         auditor.audit_tree(root, transformation.name)

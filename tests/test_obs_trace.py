@@ -1,0 +1,150 @@
+"""The 10053-style optimizer trace (repro.obs.trace).
+
+Covers the acceptance criteria of the observability layer: a CBQT trace
+for the paper's Fig. 2 running example records at least one cost-cutoff
+prune and at least one annotation-cache reuse event, the ring buffer
+bounds memory, the JSONL sink streams every event, and — the zero-cost
+contract — a disarmed engine constructs no trace events at all.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import TraceEvent, Tracer
+
+from .paper_queries import Q1, Q12
+
+
+class TestTracer:
+    def test_emit_buffers_and_sequences(self):
+        tracer = Tracer()
+        tracer.emit("a", x=1)
+        tracer.emit("b", y=2)
+        events = tracer.events()
+        assert [e.seq for e in events] == [0, 1]
+        assert [e.kind for e in events] == ["a", "b"]
+        assert tracer.events("a")[0].data == {"x": 1}
+        assert tracer.count("b") == 1
+        assert len(tracer) == 2
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.emit("k", i=i)
+        assert len(tracer) == 3
+        assert tracer.emitted == 10
+        assert [e.data["i"] for e in tracer.events()] == [7, 8, 9]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_jsonl_sink_streams_every_event(self):
+        sink = io.StringIO()
+        tracer = Tracer(capacity=2, sink=sink)
+        for i in range(5):
+            tracer.emit("k", i=i, state=(1, 0))
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == 5  # sink keeps what the ring dropped
+        first = json.loads(lines[0])
+        assert first["kind"] == "k"
+        assert first["i"] == 0
+        assert first["state"] == [1, 0]
+
+    def test_format_table_renders_events(self):
+        tracer = Tracer()
+        tracer.emit("cbqt.state", state=(1,), cost=12.5, prune=None)
+        text = tracer.format_table()
+        assert "cbqt.state" in text
+        assert "cost=12.50" in text
+        assert "1 buffered" in text
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit("k")
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.emitted == 1
+
+
+class TestCbqtTrace:
+    def test_fig2_query_records_cutoff_and_annotation_reuse(self, hr_db):
+        with hr_db.tracing() as tracer:
+            hr_db.optimize(Q1)
+        states = tracer.events("cbqt.state")
+        assert states, "CBQT search emitted no per-state events"
+        cutoffs = [e for e in states if e.data["prune"] == "cost-cutoff"]
+        assert cutoffs, "no state was pruned by the cost cut-off (§3.4.1)"
+        reused = sum(e.data["annotation_hits"] for e in states)
+        assert reused >= 1, "no annotation-cache reuse recorded (§3.4.2)"
+
+    def test_search_event_lists_alternatives(self, hr_db):
+        with hr_db.tracing() as tracer:
+            hr_db.optimize(Q1)
+        searches = tracer.events("cbqt.search")
+        assert searches
+        for event in searches:
+            assert event.data["strategy"]
+            assert len(event.data["alternatives"]) == event.data["objects"]
+            # alternative 0 is always "none" (the untransformed choice)
+            assert all(
+                alts[0] == "none" for alts in event.data["alternatives"]
+            )
+
+    def test_interleaving_appears_in_alternatives(self, hr_db):
+        with hr_db.tracing() as tracer:
+            hr_db.optimize(Q1)
+        labels = [
+            label
+            for event in tracer.events("cbqt.search")
+            for alts in event.data["alternatives"]
+            for label in alts
+        ]
+        assert any("unnest_view+groupby_merge" in label for label in labels)
+
+    def test_decision_event_matches_report(self, hr_db):
+        with hr_db.tracing() as tracer:
+            optimized = hr_db.optimize(Q12)
+        decisions = tracer.events("cbqt.decision")
+        by_name = {e.data["transformation"]: e.data for e in decisions}
+        for decision in optimized.report.decisions:
+            if decision.strategy == "heuristic":
+                continue
+            event = by_name[decision.transformation]
+            assert tuple(event["best_state"]) == decision.best_state
+            assert event["states_evaluated"] == decision.states_evaluated
+            assert len(event["order"]) == decision.states_evaluated
+
+    def test_heuristic_rule_events_carry_signatures(self, hr_db):
+        sql = """
+        SELECT e.employee_name
+        FROM employees e
+        WHERE EXISTS (SELECT 1 FROM job_history j WHERE j.emp_id = e.emp_id)
+        """
+        with hr_db.tracing() as tracer:
+            hr_db.optimize(sql)
+        rules = tracer.events("heuristic.rule")
+        assert rules
+        for event in rules:
+            assert event.data["rule"]
+            assert event.data["before"] != event.data["after"]
+
+    def test_nested_tracing_restores_previous(self, hr_db):
+        assert hr_db.tracer is None
+        with hr_db.tracing() as outer:
+            with hr_db.tracing() as inner:
+                assert hr_db.tracer is inner
+            assert hr_db.tracer is outer
+        assert hr_db.tracer is None
+
+
+class TestZeroCostWhenOff:
+    def test_no_trace_events_constructed_when_disarmed(self, hr_db):
+        assert hr_db.tracer is None
+        before = TraceEvent.created
+        hr_db.execute(Q1)
+        assert TraceEvent.created == before
