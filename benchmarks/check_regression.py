@@ -41,6 +41,13 @@ DIRECTIONS = {
     "states_two_pass": "either",
     "states_linear": "either",
     "states_exhaustive": "either",
+    # row -> vector executor wall-clock speedups (paired same-machine
+    # ratios; only a drop beyond tolerance regresses)
+    "executor_speedup_scan_filter": "higher",
+    "executor_speedup_aggregate": "higher",
+    "executor_speedup_projection": "higher",
+    "executor_speedup_micro_median": "higher",
+    "executor_speedup_paper_q4": "higher",
 }
 
 

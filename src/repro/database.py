@@ -17,6 +17,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
@@ -31,8 +32,11 @@ from .engine.executor import ExecStats, Executor
 from .engine.expressions import FunctionRegistry
 from .engine.reference import ReferenceEvaluator
 from .engine.tables import Storage
+from .engine.vector import VectorExecutor
+from .engine.vector.parallel import worker_count
 from .errors import (
     CatalogError,
+    ExecutionError,
     ReproError,
     StatementCancelled,
     StatementTimeout,
@@ -59,6 +63,24 @@ from .resilience import (
     activate,
 )
 from .sql import ast, parse_query, parse_statement
+
+#: execution engines selectable per database / per statement; "vector"
+#: (the default) runs the batch engine, "parallel" adds morsel-parallel
+#: scans/joins/aggregation, "row" is the classic row-at-a-time escape
+#: hatch (also reachable via the ``REPRO_EXEC`` environment variable)
+EXECUTOR_MODES = ("row", "vector", "parallel")
+
+
+def _default_executor_mode() -> str:
+    mode = os.environ.get("REPRO_EXEC", "").strip().lower()
+    if not mode:
+        return "vector"
+    if mode not in EXECUTOR_MODES:
+        raise ExecutionError(
+            f"REPRO_EXEC={mode!r} is not one of {'/'.join(EXECUTOR_MODES)}"
+        )
+    return mode
+
 
 _TRANSFORMATION_NAMES: Optional[frozenset] = None
 
@@ -213,6 +235,11 @@ class Database:
         #: 10053-style optimizer trace; None (the default) emits nothing.
         #: Arm with :meth:`tracing` or assign a Tracer directly.
         self.tracer: Optional[Tracer] = None
+        #: default execution engine ("row" / "vector" / "parallel"),
+        #: overridable per statement via ``execute(..., executor=...)``
+        self.executor_mode: str = _default_executor_mode()
+        #: worker count for "parallel" mode morsel dispatch
+        self.executor_workers: int = worker_count()
 
     # -- schema & data -------------------------------------------------------
 
@@ -539,16 +566,25 @@ class Database:
         cache_status: Optional[str] = None,
         token: Optional[CancelToken] = None,
         analyze: bool = False,
+        executor: Optional[str] = None,
     ) -> QueryResult:
         """Run an already-optimized query with the given bind values.
 
-        *token* arms cooperative cancellation: the executor's row loops
-        poll it and abort with a typed error when it trips.  *analyze*
+        *token* arms cooperative cancellation: the executor's loops poll
+        it and abort with a typed error when it trips.  *analyze*
         profiles every operator (invocations + wall-clock self-time) for
-        :meth:`QueryResult.explain_analyze`."""
+        :meth:`QueryResult.explain_analyze`.  *executor* picks the
+        engine for this statement ("row" / "vector" / "parallel");
+        the default is the database's :attr:`executor_mode`."""
         config = config or self.config
+        mode = executor or self.executor_mode
+        if mode not in EXECUTOR_MODES:
+            raise ExecutionError(
+                f"unknown executor mode {mode!r}; "
+                f"expected one of {'/'.join(EXECUTOR_MODES)}"
+            )
         physical = self._physical(config)
-        executor = Executor(
+        row_executor = Executor(
             self.storage,
             self.catalog,
             self.functions,
@@ -557,9 +593,36 @@ class Database:
         )
         started = time.perf_counter()
         with activate(token):
-            rows, stats = executor.execute(
-                optimized.plan, binds=binds, token=token, analyze=analyze
-            )
+            if mode == "row":
+                rows, stats = row_executor.execute(
+                    optimized.plan, binds=binds, token=token, analyze=analyze
+                )
+            else:
+                workers = self.executor_workers if mode == "parallel" else 0
+                vector = VectorExecutor(row_executor, workers=workers)
+                try:
+                    rows, stats = vector.execute(
+                        optimized.plan,
+                        binds=binds,
+                        token=token,
+                        analyze=analyze,
+                    )
+                except (StatementTimeout, StatementCancelled):
+                    raise
+                except ReproError:
+                    # The batch engine is an optimization, not an oracle:
+                    # under the resilience policy a failure degrades to
+                    # the row engine rather than failing the statement.
+                    if not config.resilience.fallback:
+                        raise
+                    if self.metrics is not None:
+                        self.metrics.counter("executor.vector_fallbacks").inc()
+                    rows, stats = row_executor.execute(
+                        optimized.plan,
+                        binds=binds,
+                        token=token,
+                        analyze=analyze,
+                    )
         execute_seconds = time.perf_counter() - started
         metrics = self.metrics
         if metrics is not None:
@@ -585,6 +648,7 @@ class Database:
         timeout: Optional[float] = None,
         token: Optional[CancelToken] = None,
         analyze: bool = False,
+        executor: Optional[str] = None,
     ) -> QueryResult:
         """Optimize and run a query (one-shot, no plan cache).
 
@@ -607,6 +671,7 @@ class Database:
                 optimize_seconds=optimize_seconds,
                 token=token,
                 analyze=analyze,
+                executor=executor,
             )
 
     def explain_analyze(

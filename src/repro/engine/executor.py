@@ -64,6 +64,8 @@ class ExecStats:
     rows_out: int = 0
     subquery_invocations: int = 0
     subquery_cache_hits: int = 0
+    #: which engine produced this run: "row", "vector", or "parallel"
+    executor_mode: str = "row"
     operator_rows: dict[str, int] = field(default_factory=dict)
     #: actual rows emitted per plan node (keyed by id(plan)); consumed by
     #: Plan.describe(actual_rows=...) for EXPLAIN ANALYZE output

@@ -1,0 +1,169 @@
+"""Columnar batches: the unit of work of the vectorized executor.
+
+A :class:`Batch` holds ``length`` rows as a dict of parallel Python
+lists keyed exactly like the row engine's dict rows (``"alias.column"``,
+``"#out:i"``, ``"#agg:<sql>"`` …).  Keeping the key space identical makes
+the row and batch engines losslessly interconvertible, which is what the
+hybrid executor relies on: any operator the batch engine does not
+implement natively runs on the row engine and its rows are re-chunked
+into batches (and vice versa for fallback expression evaluation).
+
+``width`` carries the row engine's ``#width`` pseudo-key (the output
+arity a Project / SetOp established); it is ``None`` until projection.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..expressions import Row
+
+
+class ConstColumn:
+    """A virtual column holding one value for every row index.
+
+    Used to bind missing batch columns (outer-binding keys, columns a
+    sibling batch happened not to carry) into compiled kernels, which
+    index columns positionally.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def __getitem__(self, _index: int) -> object:
+        return self.value
+
+
+class Batch:
+    """One chunk of rows in columnar layout."""
+
+    __slots__ = ("columns", "length", "width")
+
+    def __init__(
+        self,
+        columns: dict[str, list],
+        length: int,
+        width: Optional[int] = None,
+    ):
+        self.columns = columns
+        self.length = length
+        self.width = width
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Row]) -> "Batch":
+        """Transpose dict rows into a batch.
+
+        Key sets are unioned across the chunk (rows produced by outer
+        joins or views can differ); a key missing from a row reads as
+        NULL, matching ``row.get`` semantics in the row engine.
+        """
+        if not rows:
+            return cls({}, 0)
+        keys: set[str] = set()
+        for row in rows:
+            keys.update(row)
+        width = None
+        if "#width" in keys:
+            keys.discard("#width")
+            width = rows[0].get("#width")
+        columns = {key: [row.get(key) for row in rows] for key in keys}
+        return cls(columns, len(rows), width)
+
+    # -- conversion -------------------------------------------------------------
+
+    def row_view(self, index: int, base: Optional[Row] = None) -> Row:
+        """Materialise one row as a dict (fallback expression paths)."""
+        row: Row = dict(base) if base else {}
+        for key, column in self.columns.items():
+            row[key] = column[index]
+        if self.width is not None:
+            row["#width"] = self.width
+        return row
+
+    def to_rows(self, base: Optional[Row] = None) -> Iterator[Row]:
+        for i in range(self.length):
+            yield self.row_view(i, base)
+
+    def output_tuples(self) -> list[tuple]:
+        """The ``#out:i`` projection of every row, as tuples."""
+        if self.width is None:
+            from ...errors import ExecutionError
+
+            raise ExecutionError(
+                "top-level plan does not produce output rows"
+            )
+        if self.width == 0:
+            return [() for _ in range(self.length)]
+        out_columns = [
+            self.columns.get(f"#out:{i}") or ConstColumn(None)
+            for i in range(self.width)
+        ]
+        if self.width == 1:
+            column = out_columns[0]
+            return [(column[i],) for i in range(self.length)]
+        materialised = [
+            column if isinstance(column, list)
+            else [column[i] for i in range(self.length)]
+            for column in out_columns
+        ]
+        return list(zip(*materialised))
+
+    # -- transforms -------------------------------------------------------------
+
+    def gather(self, indices: Sequence[int]) -> "Batch":
+        """A new batch holding the rows at *indices* (in that order)."""
+        columns = {
+            key: [column[i] for i in indices]
+            for key, column in self.columns.items()
+        }
+        return Batch(columns, len(indices), self.width)
+
+    def column(self, key: str, default: object = None):
+        """The column for *key*, or a constant column of *default*."""
+        got = self.columns.get(key)
+        if got is None:
+            return ConstColumn(default)
+        return got
+
+
+def concat(batches: Sequence[Batch]) -> Batch:
+    """Concatenate batches into one (union of keys, NULL-filled)."""
+    if not batches:
+        return Batch({}, 0)
+    if len(batches) == 1:
+        return batches[0]
+    keys: set[str] = set()
+    width = batches[0].width
+    total = 0
+    for batch in batches:
+        keys.update(batch.columns)
+        total += batch.length
+    columns: dict[str, list] = {}
+    for key in keys:
+        column: list = []
+        for batch in batches:
+            got = batch.columns.get(key)
+            if got is None:
+                column.extend([None] * batch.length)
+            else:
+                column.extend(got)
+        columns[key] = column
+    return Batch(columns, total, width)
+
+
+def chunk_rows(rows: Iterable[Row], size: int) -> Iterator[Batch]:
+    """Re-chunk a row stream (bridged operator output) into batches."""
+    buffer: list[Row] = []
+    append = buffer.append
+    for row in rows:
+        append(row)
+        if len(buffer) >= size:
+            yield Batch.from_rows(buffer)
+            buffer = []
+            append = buffer.append
+    if buffer:
+        yield Batch.from_rows(buffer)

@@ -1,0 +1,902 @@
+"""Batch-at-a-time plan execution sharing the row engine's accounting.
+
+:class:`VectorExecutor` is a drop-in alternative to
+:meth:`repro.engine.executor.Executor.execute`: same signature, same
+:class:`~repro.engine.executor.ExecStats`, same output tuples.  The hot
+path — table scan, filter, projection, hash join, hash aggregate,
+distinct, sort, set operations — runs batch-at-a-time over columnar
+:class:`~repro.engine.vector.batch.Batch` chunks with compiled kernels;
+every other operator (index/view scans, nested-loop and merge joins,
+windows, COUNT STOPKEY) bridges to the untouched row engine, whose
+dispatch in turn reroutes vector-native *subtrees* back to the batch
+engine, so the two interleave freely within one plan.
+
+Two invariants the hybrid guarantees:
+
+* **Work-unit parity.**  Every batch operator charges exactly the
+  per-row :class:`~repro.optimizer.costmodel.CostModel` constants the row
+  executor charges — including the SEMI/ANTI hash-probe short-circuit
+  (candidates are costed round-by-round until each row's first passing
+  match, mirroring the row loop's ``break``).  Committed work-unit
+  baselines therefore hold under either engine.  Subtrees under a COUNT
+  STOPKEY run entirely on the row engine: its per-row pipelining is what
+  the stop-key cost model assumes, and batch granularity would over-
+  charge the truncated scans.
+* **Control-point parity.**  Each vector operator still fires the row
+  engine's ``executor.<Op>`` fault-injection point at instantiation, and
+  additionally fires ``executor.batch.<Op>`` plus a cancellation-token
+  poll before every batch it emits, so timeouts, ``Cursor.cancel()`` and
+  chaos suites keep their guarantees at batch boundaries.  A fault fired
+  mid-stream discards the batch being produced — partial batches never
+  leak downstream.
+
+Expressions that resist kernel compilation (subqueries, GROUPING,
+non-literal LIKE patterns) make the *operator* fall back to the bridge
+rather than mixing per-row closures into batch loops; evaluation order —
+and therefore subquery invocation counts and TIS cache charges — stays
+identical to the row engine.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterator, Optional, Sequence
+
+from ...errors import ExecutionError
+from ...optimizer.plans import (
+    Filter,
+    GroupBy,
+    HashJoin,
+    Limit,
+    NestedLoopJoin,
+    Plan,
+    Project,
+    SetOp,
+    Sort,
+    TableScan,
+)
+from ...resilience import CancelToken, faults
+from ...sql import ast
+from ..executor import ExecStats, Executor, _PlanRun
+from ..expressions import Accumulator, Row, agg_key
+from ..grouping import _hashable
+from ..reference import _sort_key
+from ..tables import TableData
+from . import batch as vbatch
+from .batch import Batch, chunk_rows
+from .kernels import KernelCompiler, NotVectorizable, PredicateKernel, ValueKernel
+
+#: rows per batch / per scan morsel
+BATCH_SIZE = 1024
+
+#: plan-node class names the batch engine executes natively; everything
+#: else bridges to the row engine
+VECTOR_OPERATORS = frozenset({
+    "TableScan",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "GroupBy",
+    "Distinct",
+    "Sort",
+    "SetOp",
+})
+
+_MISSING = object()
+
+# _NullKey's lazy singleton is not thread-safe on first creation; force
+# it at import time so parallel group-by partials can race safely.
+_NULL_KEY = _hashable(None)
+
+
+def _columnar(data: TableData) -> dict[str, list]:
+    """Columnar view of a table's rows (bare column names + ``rowid``),
+    cached on the :class:`TableData` and invalidated by row-count change
+    (the storage layer is append-only)."""
+    n = len(data.rows)
+    cached = getattr(data, "_columnar_cache", None)
+    if cached is not None and cached[0] == n:
+        return cached[1]
+    rows = data.rows
+    columns: dict[str, list] = {
+        name: [row[name] for row in rows] for name in data.table.columns
+    }
+    columns["rowid"] = list(range(n))
+    data._columnar_cache = (n, columns)  # type: ignore[attr-defined]
+    return columns
+
+
+class VectorExecutor:
+    """Executes plans batch-at-a-time (optionally morsel-parallel).
+
+    Wraps a row :class:`~repro.engine.executor.Executor` — the bridge
+    target, fallback path, and TIS subquery machinery all come from it.
+    ``workers > 0`` arms the morsel pool: scans partition into morsels
+    dispatched to a thread pool, hash-join build key extraction runs
+    partition-parallel, and aggregates accumulate per-batch partials
+    merged in batch order.
+    """
+
+    def __init__(self, executor: Executor, workers: int = 0):
+        self._executor = executor
+        self._workers = workers
+
+    def execute(
+        self,
+        plan: Plan,
+        binding: Optional[Row] = None,
+        binds: Optional[dict] = None,
+        token: Optional[CancelToken] = None,
+        analyze: bool = False,
+    ) -> tuple[list[tuple], ExecStats]:
+        """Run *plan* to completion; returns output tuples and stats."""
+        stats = ExecStats()
+        stats.executor_mode = "parallel" if self._workers else "vector"
+        pool = None
+        if self._workers:
+            from .parallel import MorselPool
+
+            pool = MorselPool(self._workers)
+        out: list[tuple] = []
+        try:
+            run = _VectorRun(
+                self._executor, stats, binds, token, analyze, pool
+            )
+            for batch in run.batches(plan, binding or {}):
+                out.extend(batch.output_tuples())
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        stats.rows_out = len(out)
+        return out, stats
+
+
+class _BridgeRun(_PlanRun):
+    """Row-engine run whose dispatch reroutes vector-native subtrees back
+    to the batch engine, so bridged operators (NLJ, merge join, limits,
+    views, TIS subquery plans) still scan and join columnar underneath.
+
+    Subtrees under a COUNT STOPKEY are pinned to the row engine for
+    work-unit parity: the Limit registers its descendants before they
+    are dispatched.
+    """
+
+    def __init__(self, executor: Executor, stats: ExecStats,
+                 binds: Optional[dict], token: Optional[CancelToken],
+                 analyze: bool, vector_run: "_VectorRun"):
+        super().__init__(executor, stats, binds, token, analyze)
+        self._vector_run = vector_run
+        self._row_only: set[int] = set()
+
+    def mark_row_only(self, plan: Plan) -> None:
+        for node in plan.walk():
+            self._row_only.add(id(node))
+
+    def pin_early_stop_subtrees(self, plan: Plan) -> None:
+        """Pin subtrees whose row-engine consumer stops pulling early —
+        batch-at-a-time eagerness there would over-charge work units.
+        Two such consumers exist: COUNT STOPKEY (Limit), and the inner
+        side of a semi/anti nested-loop probe, which stops at the first
+        qualifying match per outer row."""
+        if isinstance(plan, Limit):
+            self.mark_row_only(plan)
+        elif isinstance(plan, NestedLoopJoin) and plan.join_type in (
+            "SEMI",
+            "ANTI",
+            "ANTI_NA",
+        ):
+            self.mark_row_only(plan.right)
+
+    def rows(self, plan: Plan, binding: Row) -> Iterator[Row]:
+        if (
+            type(plan).__name__ in VECTOR_OPERATORS
+            and id(plan) not in self._row_only
+        ):
+            return self._vector_run.rows_of(plan, binding)
+        self.pin_early_stop_subtrees(plan)
+        return super().rows(plan, binding)
+
+
+class _VectorRun:
+    """State for one batch-engine execution."""
+
+    def __init__(self, executor: Executor, stats: ExecStats,
+                 binds: Optional[dict], token: Optional[CancelToken],
+                 analyze: bool, pool=None):
+        self._executor = executor
+        self._storage = executor._storage
+        self._catalog = executor._catalog
+        self._cm = executor._cm
+        self._token = token
+        self._analyze = analyze
+        self.stats = stats
+        self._pool = pool
+        #: the row engine half of the hybrid (bridging + TIS subqueries)
+        self._rows = _BridgeRun(executor, stats, binds, token, analyze, self)
+        self._kernels = KernelCompiler(executor._functions, binds)
+        self._pred_cache: dict[tuple, Optional[PredicateKernel]] = {}
+        self._value_cache: dict[int, Optional[ValueKernel]] = {}
+
+    # -- kernel caches ----------------------------------------------------------
+
+    def _predicate(self, conjuncts: Sequence[ast.Expr]) -> Optional[PredicateKernel]:
+        """Fused predicate kernel; ``None`` for an empty conjunct list.
+        Raises :class:`NotVectorizable` when any conjunct resists — the
+        caller then bridges the whole operator so *all* conjuncts run on
+        the row path in original order."""
+        if not conjuncts:
+            return None
+        key = tuple(id(c) for c in conjuncts)
+        kernel = self._pred_cache.get(key, _MISSING)
+        if kernel is _MISSING:
+            kernel = self._kernels.predicate(conjuncts)
+            self._pred_cache[key] = kernel
+        if kernel is None:
+            raise NotVectorizable("predicate")
+        return kernel
+
+    def _value(self, expr: ast.Expr) -> ValueKernel:
+        kernel = self._value_cache.get(id(expr), _MISSING)
+        if kernel is _MISSING:
+            kernel = self._kernels.values(expr)
+            self._value_cache[id(expr)] = kernel
+        if kernel is None:
+            raise NotVectorizable("expression")
+        return kernel
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def batches(self, plan: Plan, binding: Row) -> Iterator[Batch]:
+        """Dispatch one plan node: vector-native when its kernels
+        compile, bridged to the row engine otherwise."""
+        name = type(plan).__name__
+        if name in VECTOR_OPERATORS and id(plan) not in self._rows._row_only:
+            try:
+                gen = getattr(self, f"_vec_{name.lower()}")(plan, binding)
+            except NotVectorizable:
+                gen = None
+            if gen is not None:
+                # legacy per-operator fault point, fired at instantiation
+                # exactly like the row engine's dispatch
+                faults.check(f"executor.{name}", self._token)
+                if self._analyze:
+                    invocations = self.stats.node_invocations
+                    invocations[id(plan)] = invocations.get(id(plan), 0) + 1
+                return self._metered(gen, plan, name)
+        return self._bridge(plan, binding)
+
+    def _bridge(self, plan: Plan, binding: Row) -> Iterator[Batch]:
+        """Run *plan* on the row engine, re-chunking its rows; the row
+        dispatch reroutes any vector-native descendants back here."""
+        self._rows.pin_early_stop_subtrees(plan)
+        rows = _PlanRun.rows(self._rows, plan, binding)
+        return chunk_rows(rows, BATCH_SIZE)
+
+    def rows_of(self, plan: Plan, binding: Row) -> Iterator[Row]:
+        """Row view of a vector-native subtree (bridge direction 2)."""
+        for batch in self.batches(plan, binding):
+            yield from batch.to_rows(binding)
+
+    def _metered(self, gen: Iterator[Batch], plan: Plan,
+                 name: str) -> Iterator[Batch]:
+        """Per-batch control points: the ``executor.batch.<Op>`` fault
+        point and a cancellation poll fire *before* each batch is
+        produced, and actual-row counts accumulate per batch."""
+        point = f"executor.batch.{name}"
+        token = self._token
+        count = self._rows._count
+        analyze = self._analyze
+        node_id = id(plan)
+        seconds = self.stats.node_seconds
+        clock = time.perf_counter
+        while True:
+            faults.check(point, token)
+            if token is not None:
+                token.check()
+            start = clock() if analyze else 0.0
+            try:
+                batch = next(gen)
+            except StopIteration:
+                if analyze:
+                    seconds[node_id] = (
+                        seconds.get(node_id, 0.0) + clock() - start
+                    )
+                return
+            if analyze:
+                seconds[node_id] = (
+                    seconds.get(node_id, 0.0) + clock() - start
+                )
+            if batch.length:
+                count(plan, batch.length)
+                yield batch
+
+    # -- leaves ---------------------------------------------------------------
+
+    def _vec_tablescan(self, plan: TableScan, binding: Row) -> Iterator[Batch]:
+        kernel = self._predicate(plan.conjuncts)
+        data = self._storage.get(plan.table_name)
+        return self._scan_batches(plan, kernel, data, binding)
+
+    def _scan_batches(self, plan: TableScan,
+                      kernel: Optional[PredicateKernel],
+                      data: TableData, binding: Row) -> Iterator[Batch]:
+        charge = self.stats.charge
+        cm = self._cm
+        # charged per *stored* row, filtered or not — same as the row loop
+        per_row = cm.scan_row + cm.predicate_eval * len(plan.conjuncts)
+        alias = plan.alias
+        columns = {
+            f"{alias}.{name}": col for name, col in _columnar(data).items()
+        }
+        n = len(data.rows)
+        whole = Batch(columns, n)
+        morsels = [
+            (start, min(start + BATCH_SIZE, n))
+            for start in range(0, n, BATCH_SIZE)
+        ]
+
+        if kernel is None:
+            def build(start: int, end: int) -> Batch:
+                if start == 0 and end == n:
+                    return whole
+                return Batch(
+                    {key: col[start:end] for key, col in columns.items()},
+                    end - start,
+                )
+        else:
+            def build(start: int, end: int) -> Batch:
+                return whole.gather(
+                    kernel.select(whole, range(start, end), binding)
+                )
+
+        pool = self._pool
+        if pool is not None and len(morsels) > 1:
+            results = pool.map_ordered(build, morsels)
+        else:
+            results = (build(start, end) for start, end in morsels)
+        for (start, end), out in zip(morsels, results):
+            charge((end - start) * per_row)
+            yield out
+
+    # -- filters and projection -------------------------------------------------
+
+    def _vec_filter(self, plan: Filter, binding: Row) -> Iterator[Batch]:
+        kernel = self._predicate(plan.conjuncts)
+        extra = sum(
+            self._catalog.function_cost(node.name)
+            for c in plan.conjuncts
+            for node in c.walk()
+            if isinstance(node, ast.FuncCall)
+        )
+        return self._filter_batches(plan, kernel, extra, binding)
+
+    def _filter_batches(self, plan: Filter,
+                        kernel: Optional[PredicateKernel],
+                        extra: float, binding: Row) -> Iterator[Batch]:
+        cm = self._cm
+        charge = self.stats.charge
+        per_row = cm.predicate_eval * len(plan.conjuncts) + extra
+        for batch in self.batches(plan.child, binding):
+            charge(per_row * batch.length)
+            if kernel is None:
+                yield batch
+                continue
+            selected = kernel.select(batch, range(batch.length), binding)
+            if len(selected) == batch.length:
+                yield batch
+            else:
+                yield batch.gather(selected)
+
+    def _vec_project(self, plan: Project, binding: Row) -> Iterator[Batch]:
+        # plain column references alias the child's column list instead of
+        # re-materialising it; everything else compiles to a value kernel
+        sources: list[object] = []
+        for item in plan.select_items:
+            expr = item.expr
+            if isinstance(expr, ast.ColumnRef) and expr.qualifier is not None:
+                sources.append(f"{expr.qualifier}.{expr.name}")
+            else:
+                sources.append(self._value(expr))
+        return self._project_batches(plan, sources, binding)
+
+    def _project_batches(self, plan: Project, sources: list,
+                         binding: Row) -> Iterator[Batch]:
+        cm = self._cm
+        charge = self.stats.charge
+        width = len(sources)
+        for batch in self.batches(plan.child, binding):
+            n = batch.length
+            charge(cm.pipeline_row * n)
+            columns = dict(batch.columns)
+            for i, source in enumerate(sources):
+                if isinstance(source, str):
+                    column = batch.columns.get(source)
+                    if column is None:
+                        column = [binding.get(source)] * n
+                    columns[f"#out:{i}"] = column
+                else:
+                    columns[f"#out:{i}"] = source.evaluate(
+                        batch, range(n), binding
+                    )
+            yield Batch(columns, n, width)
+
+    # -- hash join --------------------------------------------------------------
+
+    def _vec_hashjoin(self, plan: HashJoin, binding: Row) -> Iterator[Batch]:
+        left_keys = [self._value(k) for k in plan.left_keys]
+        right_keys = [self._value(k) for k in plan.right_keys]
+        residual = self._predicate(plan.residual_conjuncts)
+        return self._hashjoin_batches(
+            plan, left_keys, right_keys, residual, binding
+        )
+
+    def _hashjoin_batches(self, plan: HashJoin,
+                          left_keys: list[ValueKernel],
+                          right_keys: list[ValueKernel],
+                          residual: Optional[PredicateKernel],
+                          binding: Row) -> Iterator[Batch]:
+        cm = self._cm
+        charge = self.stats.charge
+        pair_cost = (
+            cm.pipeline_row
+            + cm.predicate_eval * len(plan.residual_conjuncts)
+        )
+
+        # build side (right), materialised as one batch
+        build = vbatch.concat(list(self.batches(plan.right, binding)))
+        n_build = build.length
+        charge(cm.hash_row * n_build)
+        key_columns = self._key_columns(build, right_keys, binding)
+        table: dict[tuple, list[int]] = {}
+        build_has_null_key = False
+        for i in range(n_build):
+            key = tuple(column[i] for column in key_columns)
+            if any(v is None for v in key):
+                build_has_null_key = True
+                continue
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [i]
+            else:
+                bucket.append(i)
+
+        join_type = plan.join_type
+        inner_like = join_type in ("INNER", "LEFT")
+        for lbatch in self.batches(plan.left, binding):
+            n = lbatch.length
+            charge(cm.hash_row * n)
+            probe_columns = self._key_columns(lbatch, left_keys, binding)
+            if inner_like:
+                out = self._hj_inner(
+                    plan, lbatch, probe_columns, build, table,
+                    residual, pair_cost, binding,
+                )
+            else:
+                out = self._hj_semi(
+                    plan, lbatch, probe_columns, build, table,
+                    residual, pair_cost, binding, build_has_null_key,
+                )
+            if out is not None:
+                yield out
+
+    def _key_columns(self, batch: Batch, kernels: list[ValueKernel],
+                     binding: Row) -> list[list]:
+        """Evaluate join-key kernels over a whole batch (partition-
+        parallel over morsel-sized index ranges when pooled)."""
+        n = batch.length
+        pool = self._pool
+        if pool is None or n <= BATCH_SIZE or not kernels:
+            indices = range(n)
+            return [k.evaluate(batch, indices, binding) for k in kernels]
+        ranges = [
+            (start, min(start + BATCH_SIZE, n))
+            for start in range(0, n, BATCH_SIZE)
+        ]
+
+        def extract(start: int, end: int) -> list[list]:
+            indices = range(start, end)
+            return [k.evaluate(batch, indices, binding) for k in kernels]
+
+        columns: list[list] = [[] for _ in kernels]
+        for part in pool.map_ordered(extract, ranges):
+            for j, chunk in enumerate(part):
+                columns[j].extend(chunk)
+        return columns
+
+    def _hj_inner(self, plan: HashJoin, lbatch: Batch,
+                  probe_columns: list[list], build: Batch,
+                  table: dict[tuple, list[int]],
+                  residual: Optional[PredicateKernel], pair_cost: float,
+                  binding: Row) -> Optional[Batch]:
+        """INNER/LEFT probe for one left batch.  Emission order matches
+        the row loop: per left row, its passing matches in build order,
+        then (LEFT) the null-extended row when none passed."""
+        charge = self.stats.charge
+        n = lbatch.length
+        cand_left: list[int] = []
+        cand_right: list[int] = []
+        empty: list[int] = []
+        for i in range(n):
+            key = tuple(column[i] for column in probe_columns)
+            matches = (
+                empty if any(v is None for v in key)
+                else table.get(key, empty)
+            )
+            for j in matches:
+                cand_left.append(i)
+                cand_right.append(j)
+        charge(pair_cost * len(cand_left))
+        if residual is not None and cand_left:
+            pair = self._pair_batch(
+                residual.keys, lbatch, cand_left, build, cand_right, binding
+            )
+            selected = residual.select(pair, range(len(cand_left)), binding)
+        else:
+            selected = list(range(len(cand_left)))
+        if plan.join_type == "INNER":
+            if not selected:
+                return None
+            out_left = [cand_left[s] for s in selected]
+            out_right = [cand_right[s] for s in selected]
+        else:  # LEFT: weave null-extension rows into the left order
+            out_left, out_right = [], []
+            pos = 0
+            n_selected = len(selected)
+            for i in range(n):
+                matched = False
+                while pos < n_selected and cand_left[selected[pos]] == i:
+                    out_left.append(i)
+                    out_right.append(cand_right[selected[pos]])
+                    matched = True
+                    pos += 1
+                if not matched:
+                    out_left.append(i)
+                    out_right.append(-1)
+        return self._merged_batch(lbatch, out_left, build, out_right)
+
+    def _hj_semi(self, plan: HashJoin, lbatch: Batch,
+                 probe_columns: list[list], build: Batch,
+                 table: dict[tuple, list[int]],
+                 residual: Optional[PredicateKernel], pair_cost: float,
+                 binding: Row, build_has_null_key: bool) -> Optional[Batch]:
+        """SEMI/ANTI/ANTI_NA probe for one left batch.
+
+        Residual candidates are costed round-by-round — every left row's
+        first candidate, then the second for rows still unmatched, … —
+        so the charges equal the row loop's evaluate-until-first-match
+        ``break`` exactly.
+        """
+        charge = self.stats.charge
+        n = lbatch.length
+        matched = bytearray(n)
+        key_null = bytearray(n)
+        match_lists: list[Sequence[int]] = []
+        empty: tuple = ()
+        for i in range(n):
+            key = tuple(column[i] for column in probe_columns)
+            if any(v is None for v in key):
+                key_null[i] = 1
+                match_lists.append(empty)
+            else:
+                match_lists.append(table.get(key, empty))
+        if residual is None:
+            for i in range(n):
+                if match_lists[i]:
+                    charge(pair_cost)  # first candidate passes; row breaks
+                    matched[i] = 1
+        else:
+            active = [i for i in range(n) if match_lists[i]]
+            position = 0
+            while active:
+                cand_left = active
+                cand_right = [match_lists[i][position] for i in active]
+                charge(pair_cost * len(cand_left))
+                pair = self._pair_batch(
+                    residual.keys, lbatch, cand_left, build,
+                    cand_right, binding,
+                )
+                for s in residual.select(
+                    pair, range(len(cand_left)), binding
+                ):
+                    matched[cand_left[s]] = 1
+                position += 1
+                active = [
+                    i for i in active
+                    if not matched[i] and len(match_lists[i]) > position
+                ]
+
+        join_type = plan.join_type
+        if join_type == "SEMI":
+            keep = [i for i in range(n) if matched[i]]
+        elif join_type == "ANTI":
+            keep = [i for i in range(n) if not matched[i]]
+        elif table or build_has_null_key:  # ANTI_NA, non-empty build
+            keep = [
+                i for i in range(n)
+                if not (matched[i] or key_null[i] or build_has_null_key)
+            ]
+        else:  # ANTI_NA over an empty build side keeps every left row
+            keep = list(range(n))
+        if not keep:
+            return None
+        return lbatch.gather(keep)
+
+    def _pair_batch(self, keys: list[str], lbatch: Batch,
+                    left_indices: list[int], build: Batch,
+                    right_indices: list[int], binding: Row) -> Batch:
+        """Candidate-pair batch holding only the columns a residual
+        kernel reads; ``-1`` right indices (null extension) read NULL."""
+        columns: dict[str, list] = {}
+        for key in keys:
+            column = lbatch.columns.get(key)
+            if column is not None:
+                columns[key] = [column[i] for i in left_indices]
+                continue
+            column = build.columns.get(key)
+            if column is not None:
+                columns[key] = [
+                    column[j] if j >= 0 else None for j in right_indices
+                ]
+        return Batch(columns, len(left_indices))
+
+    def _merged_batch(self, lbatch: Batch, left_indices: list[int],
+                      build: Batch, right_indices: list[int]) -> Batch:
+        columns: dict[str, list] = {}
+        for key, column in lbatch.columns.items():
+            columns[key] = [column[i] for i in left_indices]
+        for key, column in build.columns.items():
+            columns[key] = [
+                column[j] if j >= 0 else None for j in right_indices
+            ]
+        return Batch(columns, len(left_indices))
+
+    # -- aggregation ------------------------------------------------------------
+
+    def _vec_groupby(self, plan: GroupBy, binding: Row) -> Iterator[Batch]:
+        if plan.grouping_sets is not None:
+            raise NotVectorizable("grouping sets")
+        key_kernels = [self._value(g) for g in plan.group_exprs]
+        specs = []
+        for call in plan.aggregates:
+            is_star = bool(call.args) and isinstance(call.args[0], ast.Star)
+            kernel = None if is_star else self._value(call.args[0])
+            specs.append((call, kernel, is_star))
+        return self._groupby_batches(plan, key_kernels, specs, binding)
+
+    def _groupby_batches(self, plan: GroupBy,
+                         key_kernels: list[ValueKernel], specs: list,
+                         binding: Row) -> Iterator[Batch]:
+        cm = self._cm
+        charge = self.stats.charge
+        per_row = cm.agg_row * max(len(specs), 1)
+        #: key -> [rep_batch, rep_index, states]; insertion-ordered, so
+        #: output order matches the row engine's first-seen order
+        groups: dict[tuple, list] = {}
+        pool = self._pool
+        child = self.batches(plan.child, binding)
+        if pool is not None:
+            batches = list(child)
+
+            def partial(batch: Batch) -> dict[tuple, list]:
+                part: dict[tuple, list] = {}
+                self._accumulate(
+                    batch, part, key_kernels, specs, binding
+                )
+                return part
+
+            partials = pool.map_ordered(
+                partial, [(b,) for b in batches]
+            )
+            for batch, part in zip(batches, partials):
+                charge(per_row * batch.length)
+                self._merge_partial(groups, part, specs)
+        else:
+            for batch in child:
+                charge(per_row * batch.length)
+                self._accumulate(batch, groups, key_kernels, specs, binding)
+
+        if not groups and not plan.group_exprs:
+            # scalar aggregate over empty input: one all-NULL group
+            row: Row = dict(binding)
+            for call, _kernel, _star in specs:
+                row[agg_key(call)] = Accumulator(
+                    call.name, call.distinct
+                ).result()
+            charge(cm.pipeline_row)
+            yield Batch.from_rows([row])
+            return
+
+        out_rows: list[Row] = []
+        for rep_batch, rep_index, states in groups.values():
+            row = rep_batch.row_view(rep_index, binding)
+            for (call, _kernel, star), state in zip(specs, states):
+                row[agg_key(call)] = _agg_finish(call.name, state)
+            charge(cm.pipeline_row)
+            out_rows.append(row)
+            if len(out_rows) >= BATCH_SIZE:
+                yield Batch.from_rows(out_rows)
+                out_rows = []
+        if out_rows:
+            yield Batch.from_rows(out_rows)
+
+    def _accumulate(self, batch: Batch, groups: dict,
+                    key_kernels: list[ValueKernel], specs: list,
+                    binding: Row) -> None:
+        """Accumulate one batch into *groups* (pure w.r.t. run state, so
+        morsel workers can build partials concurrently)."""
+        n = batch.length
+        indices = range(n)
+        key_columns = [
+            k.evaluate(batch, indices, binding) for k in key_kernels
+        ]
+        arg_columns = [
+            None if kernel is None else kernel.evaluate(
+                batch, indices, binding
+            )
+            for _call, kernel, _star in specs
+        ]
+        n_specs = len(specs)
+        for i in indices:
+            key = tuple(_hashable(column[i]) for column in key_columns)
+            group = groups.get(key)
+            if group is None:
+                #: state per aggregate: [star_count, values, seen-or-None]
+                states = [
+                    [0, [], set() if call.distinct else None]
+                    for call, _kernel, _star in specs
+                ]
+                group = [batch, i, states]
+                groups[key] = group
+            states = group[2]
+            for j in range(n_specs):
+                state = states[j]
+                if specs[j][2]:
+                    state[0] += 1
+                    continue
+                value = arg_columns[j][i]
+                if value is None:
+                    continue
+                seen = state[2]
+                if seen is not None:
+                    if value in seen:
+                        continue
+                    seen.add(value)
+                state[1].append(value)
+
+    @staticmethod
+    def _merge_partial(groups: dict, part: dict, specs: list) -> None:
+        """Merge one batch's partial aggregates (driver thread, in batch
+        order, so value order — and float summation — matches the
+        sequential path)."""
+        for key, group in part.items():
+            into = groups.get(key)
+            if into is None:
+                groups[key] = group
+                continue
+            for state, pstate in zip(into[2], group[2]):
+                state[0] += pstate[0]
+                seen = state[2]
+                if seen is None:
+                    state[1].extend(pstate[1])
+                    continue
+                for value in pstate[1]:
+                    if value not in seen:
+                        seen.add(value)
+                        state[1].append(value)
+
+    # -- distinct / sort / set operations ----------------------------------------
+
+    def _vec_distinct(self, plan: Plan, binding: Row) -> Iterator[Batch]:
+        return self._distinct_batches(plan, binding)
+
+    def _distinct_batches(self, plan: Plan, binding: Row) -> Iterator[Batch]:
+        cm = self._cm
+        charge = self.stats.charge
+        seen: set[tuple] = set()
+        for batch in self.batches(plan.child, binding):
+            charge(cm.hash_row * batch.length)
+            keep = []
+            for i, values in enumerate(batch.output_tuples()):
+                if values not in seen:
+                    seen.add(values)
+                    keep.append(i)
+            if len(keep) == batch.length:
+                yield batch
+            else:
+                yield batch.gather(keep)
+
+    def _vec_sort(self, plan: Sort, binding: Row) -> Iterator[Batch]:
+        kernels = [self._value(item.expr) for item in plan.order_by]
+        return self._sort_batches(plan, kernels, binding)
+
+    def _sort_batches(self, plan: Sort, kernels: list[ValueKernel],
+                      binding: Row) -> Iterator[Batch]:
+        cm = self._cm
+        big = vbatch.concat(list(self.batches(plan.child, binding)))
+        n = big.length
+        self.stats.charge(cm.sort_cost(n))
+        indices = list(range(n))
+        # successive stable sorts, least-significant key first — the same
+        # passes the row engine makes, so tie order is identical
+        for kernel, item in reversed(list(zip(kernels, plan.order_by))):
+            column = kernel.evaluate(big, range(n), binding)
+            descending = item.descending
+            indices.sort(
+                key=lambda i, c=column, d=descending: _sort_key(c[i], d),
+                reverse=descending,
+            )
+        for start in range(0, n, BATCH_SIZE):
+            yield big.gather(indices[start:start + BATCH_SIZE])
+
+    def _vec_setop(self, plan: SetOp, binding: Row) -> Iterator[Batch]:
+        return self._setop_batches(plan, binding)
+
+    def _setop_batches(self, plan: SetOp, binding: Row) -> Iterator[Batch]:
+        cm = self._cm
+        charge = self.stats.charge
+        op = plan.op
+        if op == "UNION ALL":
+            for branch in plan.branches:
+                for batch in self.batches(branch, binding):
+                    values = batch.output_tuples()
+                    charge(cm.pipeline_row * len(values))
+                    yield _tuple_batch(values)
+            return
+        if op == "UNION":
+            seen: set[tuple] = set()
+            for branch in plan.branches:
+                for batch in self.batches(branch, binding):
+                    keep = []
+                    for values in batch.output_tuples():
+                        charge(cm.hash_row)
+                        if values not in seen:
+                            seen.add(values)
+                            keep.append(values)
+                    if keep:
+                        yield _tuple_batch(keep)
+            return
+        left, right = plan.branches
+        right_set: set[tuple] = set()
+        for batch in self.batches(right, binding):
+            right_set.update(batch.output_tuples())
+        charge(cm.hash_row * len(right_set))
+        seen = set()
+        want = op == "INTERSECT"
+        for batch in self.batches(left, binding):
+            keep = []
+            for values in batch.output_tuples():
+                charge(cm.hash_row)
+                if values in seen:
+                    continue
+                if (values in right_set) == want:
+                    seen.add(values)
+                    keep.append(values)
+            if keep:
+                yield _tuple_batch(keep)
+
+
+def _agg_finish(name: str, state: list) -> object:
+    """Finish one group's aggregate; mirrors ``Accumulator.result``."""
+    star_count, values, _seen = state
+    if name == "COUNT":
+        return star_count if star_count else len(values)
+    if not values:
+        return None
+    if name == "SUM":
+        return sum(values)
+    if name == "AVG":
+        return sum(values) / len(values)
+    if name == "MIN":
+        return min(values)
+    if name == "MAX":
+        return max(values)
+    raise ExecutionError(f"unknown aggregate {name!r}")
+
+
+def _tuple_batch(values: list[tuple]) -> Batch:
+    """A batch holding only the ``#out:i`` projection of *values*."""
+    width = len(values[0])
+    columns = {
+        f"#out:{i}": [v[i] for v in values] for i in range(width)
+    }
+    return Batch(columns, len(values), width)

@@ -1,0 +1,69 @@
+"""Morsel-driven parallelism for the vectorized executor.
+
+A :class:`MorselPool` wraps a ``ThreadPoolExecutor`` for the lifetime of
+one statement execution.  Work is dispatched as *morsels* — kernel
+evaluations over morsel-sized index ranges (scan selection, hash-join
+build key extraction) or whole batches (group-by partial aggregation) —
+and results are consumed strictly **in submission order** through a
+bounded sliding window, so the driver thread can charge work units,
+fire fault-injection points, poll cancellation tokens, and merge
+partial aggregates deterministically, exactly as the sequential path
+does.  Workers only ever run pure functions over immutable batches and
+compiled kernels; no :class:`~repro.engine.executor.ExecStats` or fault
+state is touched off the driver thread.
+
+Early termination (a closed generator, a cancelled statement) cancels
+every not-yet-started morsel; in-flight ones finish and are dropped.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Iterable, Iterator, Sequence
+
+#: default worker count when ``REPRO_EXEC_WORKERS`` is unset
+DEFAULT_WORKERS = 4
+
+
+def worker_count() -> int:
+    """Workers for parallel execution: ``REPRO_EXEC_WORKERS`` or a
+    default capped by the machine's core count."""
+    raw = os.environ.get("REPRO_EXEC_WORKERS", "").strip()
+    if raw:
+        return max(1, int(raw))
+    return max(1, min(DEFAULT_WORKERS, os.cpu_count() or 1))
+
+
+class MorselPool:
+    """A statement-scoped worker pool with ordered result consumption."""
+
+    def __init__(self, workers: int):
+        self.workers = max(1, workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-morsel"
+        )
+
+    def map_ordered(
+        self, fn: Callable, arg_tuples: Iterable[Sequence]
+    ) -> Iterator:
+        """Apply ``fn(*args)`` to every tuple, yielding results in
+        submission order.  At most ``2 * workers`` morsels are in flight
+        at once; abandoning the iterator cancels the rest."""
+        pending = list(arg_tuples)
+        window: deque[Future] = deque()
+        limit = self.workers * 2
+        index = 0
+        try:
+            while index < len(pending) or window:
+                while index < len(pending) and len(window) < limit:
+                    window.append(self._pool.submit(fn, *pending[index]))
+                    index += 1
+                yield window.popleft().result()
+        finally:
+            for future in window:
+                future.cancel()
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)

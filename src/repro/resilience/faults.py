@@ -54,6 +54,20 @@ EXECUTOR_OPERATORS = (
     "SetOp",
 )
 
+#: operators the vectorized engine runs natively; each also checks an
+#: ``executor.batch.<Op>`` point before producing every batch, so chaos
+#: tests can fail an operator mid-stream rather than only at startup
+BATCH_OPERATORS = (
+    "TableScan",
+    "Filter",
+    "Project",
+    "HashJoin",
+    "GroupBy",
+    "Distinct",
+    "Sort",
+    "SetOp",
+)
+
 #: non-transformation, non-executor injection points
 CORE_POINTS = ("cbqt.costing", "plan_cache.lookup", "plan_cache.store")
 
@@ -67,6 +81,7 @@ def injection_points() -> list[str]:
     ]
     points.extend(CORE_POINTS)
     points.extend(f"executor.{name}" for name in EXECUTOR_OPERATORS)
+    points.extend(f"executor.batch.{name}" for name in BATCH_OPERATORS)
     return points
 
 

@@ -103,3 +103,23 @@ class TestDifferential:
             rows_on = Counter(db.execute(query.sql, on).rows)
             rows_off = Counter(db.execute(query.sql, off).rows)
             assert rows_on == rows_off, query.name
+
+    @pytest.mark.parametrize("executor", ["row", "vector", "parallel"])
+    def test_random_queries_match_reference_per_executor(
+        self, apps, generated, executor
+    ):
+        # the same random battery through each execution engine; any
+        # miscompare is the batch engine (or its morsel scheduling)
+        # changing semantics relative to the reference evaluator
+        db, _schema = apps
+        mismatches = []
+        for query in generated:
+            expected = Counter(db.reference_execute(query.sql))
+            actual = Counter(db.execute(query.sql, executor=executor).rows)
+            if actual != expected:
+                mismatches.append(
+                    f"{query.name} [{query.query_class}] via {executor}: "
+                    f"{sum(actual.values())} rows vs reference "
+                    f"{sum(expected.values())}"
+                )
+        assert not mismatches, "\n".join(mismatches)

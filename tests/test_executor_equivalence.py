@@ -1,8 +1,9 @@
 """Plan executor vs reference evaluator on a battery of query shapes.
 
 Every query is optimized (heuristic + cost-based transformations all on),
-executed, and compared against the reference evaluator as an unordered
-multiset (ordered where the query has a top-level ORDER BY).
+executed through each engine (row-at-a-time, vectorized, morsel-parallel),
+and compared against the reference evaluator as an unordered multiset
+(ordered where the query has a top-level ORDER BY).
 """
 
 from collections import Counter
@@ -10,6 +11,8 @@ from collections import Counter
 import pytest
 
 from repro import OptimizerConfig
+
+EXECUTORS = ("row", "vector", "parallel")
 
 QUERIES = [
     # scans and filters
@@ -98,10 +101,12 @@ QUERIES = [
 ]
 
 
+@pytest.mark.parametrize("executor", EXECUTORS)
 @pytest.mark.parametrize("sql", QUERIES, ids=range(len(QUERIES)))
-def test_plan_matches_reference(tiny_db, sql):
+def test_plan_matches_reference(tiny_db, sql, executor):
     expected = tiny_db.reference_execute(sql)
-    result = tiny_db.execute(sql, OptimizerConfig())
+    result = tiny_db.execute(sql, OptimizerConfig(), executor=executor)
+    assert result.exec_stats.executor_mode == executor
     if "ORDER BY" in sql and "(" not in sql.split("ORDER BY")[0][-20:]:
         assert result.rows == expected
     else:
@@ -193,7 +198,32 @@ EXTRA_QUERIES = [
 ]
 
 
+@pytest.mark.parametrize("executor", EXECUTORS)
 @pytest.mark.parametrize("sql", EXTRA_QUERIES, ids=range(len(EXTRA_QUERIES)))
-def test_extra_shapes_match_reference(tiny_db, sql):
+def test_extra_shapes_match_reference(tiny_db, sql, executor):
     expected = Counter(tiny_db.reference_execute(sql))
-    assert Counter(tiny_db.execute(sql).rows) == expected
+    got = tiny_db.execute(sql, executor=executor)
+    assert Counter(got.rows) == expected
+
+
+@pytest.mark.parametrize("sql", QUERIES[:12], ids=range(12))
+def test_executors_agree_on_plan_and_work(tiny_db, sql):
+    """All three engines must run the *same* chosen plan, produce the
+    same row multiset, and charge the same deterministic work units
+    (modulo float summation order)."""
+    import math
+
+    runs = {
+        mode: tiny_db.execute(sql, executor=mode) for mode in EXECUTORS
+    }
+    plans = {r.plan.describe() for r in runs.values()}
+    assert len(plans) == 1, "executor choice must not affect the plan"
+    base = runs["row"]
+    for mode in ("vector", "parallel"):
+        assert Counter(runs[mode].rows) == Counter(base.rows)
+        assert math.isclose(
+            runs[mode].exec_stats.work_units,
+            base.exec_stats.work_units,
+            rel_tol=1e-9,
+        ), (mode, runs[mode].exec_stats.work_units,
+            base.exec_stats.work_units)
