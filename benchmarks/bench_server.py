@@ -1,0 +1,222 @@
+"""Server load bench: N concurrent HTTP clients over the serving front
+end, mixed soft-parse / hard-parse / DML traffic, every result
+differentially checked.
+
+The acceptance bar from the serving milestone: sustain >= 8 concurrent
+clients end to end (HTTP -> admission -> session queue -> worker pool ->
+snapshot read -> plan cache) with zero errors and zero wrong results,
+and commit throughput (statements/sec) and p95 statement latency to the
+regression gate.
+
+The committed baselines are deliberately conservative (recorded well
+below the development machine's throughput and above its p95) because
+these are wall-clock metrics: the gate should catch a collapse — a new
+lock on the hot path serializing the pool — not machine-to-machine
+noise.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro import Database
+from repro.server import ReproServer, ServerConfig
+from repro.server.http import make_http_server
+
+from conftest import QUICK, record_report
+
+CLIENTS = 8 if QUICK else 12
+STATEMENTS_PER_CLIENT = 24 if QUICK else 50
+ITEM_ROWS = 300
+#: per-iteration mix: indexes 0-6 cached soft parses, 7-8 unique-literal
+#: hard parses, 9 a DML batch (70 / 20 / 10)
+MIX = ("cached",) * 7 + ("hard",) * 2 + ("dml",)
+DML_BATCH = 5
+
+CACHED_STATEMENTS = [
+    ("SELECT grp, COUNT(*) FROM items GROUP BY grp ORDER BY grp", None),
+    ("SELECT COUNT(*) FROM items WHERE grp = :g", {"g": 3}),
+    ("SELECT id FROM items WHERE val < :v AND grp = :g ORDER BY id",
+     {"v": 50, "g": 1}),
+]
+
+
+def _item_rows() -> list[dict]:
+    return [
+        {"id": i, "grp": i % 6, "val": (i * 37) % 500}
+        for i in range(ITEM_ROWS)
+    ]
+
+
+def _seed(db: Database) -> None:
+    db.execute_ddl(
+        "CREATE TABLE items (id INT PRIMARY KEY, grp INT, val INT)"
+    )
+    db.execute_ddl(
+        "CREATE TABLE scratch (id INT PRIMARY KEY, c INT)"
+    )
+    db.insert("items", _item_rows())
+    db.analyze()
+
+
+def _expected_results(db: Database) -> dict:
+    return {
+        sql: db.reference_execute(sql, binds)
+        for sql, binds in CACHED_STATEMENTS
+    }
+
+
+def _call(base: str, method: str, path: str, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _client_loop(
+    base: str,
+    client_index: int,
+    expected: dict,
+    items: list[dict],
+    latencies: list[float],
+    failures: list[str],
+) -> None:
+    status, payload = _call(base, "POST", "/sessions", {})
+    if status != 200:
+        failures.append(f"connect failed: {payload}")
+        return
+    sid = payload["session_id"]
+    for i in range(STATEMENTS_PER_CLIENT):
+        kind = MIX[i % len(MIX)]
+        if kind == "cached":
+            sql, binds = CACHED_STATEMENTS[i % len(CACHED_STATEMENTS)]
+            body = {"sql": sql, "binds": binds}
+            want = [list(row) for row in expected[sql]]
+        elif kind == "hard":
+            # a unique literal per call defeats the cache key: every one
+            # of these is a fresh hard parse under concurrency
+            threshold = (client_index * STATEMENTS_PER_CLIENT + i) % 500
+            sql = f"SELECT COUNT(*) FROM items WHERE val > {threshold}"
+            body = {"sql": sql}
+            want = [[sum(1 for r in items if r["val"] > threshold)]]
+        else:
+            base_id = (client_index * STATEMENTS_PER_CLIENT + i) * DML_BATCH
+            body = None
+            want = None
+        started = time.perf_counter()
+        if kind == "dml":
+            status, payload = _call(
+                base, "POST", f"/sessions/{sid}/insert",
+                {"table": "scratch", "rows": [
+                    {"id": base_id + j, "c": j} for j in range(DML_BATCH)
+                ]},
+            )
+        else:
+            status, payload = _call(
+                base, "POST", f"/sessions/{sid}/execute", body
+            )
+        latencies.append(time.perf_counter() - started)
+        if status != 200:
+            failures.append(f"{kind} statement failed ({status}): {payload}")
+            return
+        if kind == "dml":
+            if payload.get("inserted") != DML_BATCH:
+                failures.append(f"dml inserted {payload.get('inserted')}")
+                return
+        elif [list(row) for row in payload["rows"]] != want:
+            failures.append(
+                f"differential mismatch for {body['sql']}: {payload['rows']}"
+            )
+            return
+    _call(base, "DELETE", f"/sessions/{sid}")
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = max(0, min(len(ordered) - 1, int(q * len(ordered)) - 1))
+    return ordered[index]
+
+
+def test_server_load():
+    db = Database()
+    _seed(db)
+    expected = _expected_results(db)
+    items = _item_rows()
+    app = ReproServer(database=db, config=ServerConfig(workers=4))
+    server = make_http_server(app, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+
+    latencies: list[float] = []
+    failures: list[str] = []
+    try:
+        # warm the listener + the shared cursors outside the timed region
+        warm: list[float] = []
+        _client_loop(base, 999, expected, items, warm, failures)
+        assert not failures, failures[0]
+
+        started = time.perf_counter()
+        clients = [
+            threading.Thread(
+                target=_client_loop,
+                args=(base, n, expected, items, latencies, failures),
+            )
+            for n in range(CLIENTS)
+        ]
+        for client in clients:
+            client.start()
+        for client in clients:
+            client.join(timeout=600)
+        elapsed = time.perf_counter() - started
+    finally:
+        server.shutdown()
+        server.server_close()
+        app.close()
+
+    assert not failures, failures[0]
+    total = CLIENTS * STATEMENTS_PER_CLIENT
+    assert len(latencies) == total
+    throughput = total / elapsed
+    p50_ms = _percentile(latencies, 0.50) * 1000
+    p95_ms = _percentile(latencies, 0.95) * 1000
+    stats = app.stats()
+    cache = app.cache()
+
+    report = "\n".join([
+        f"server load: {CLIENTS} concurrent clients x "
+        f"{STATEMENTS_PER_CLIENT} statements (70% cached / 20% hard parse "
+        f"/ 10% DML), {app.config.workers} workers",
+        f"{'statements':>14} {total:10d}",
+        f"{'elapsed s':>14} {elapsed:10.3f}",
+        f"{'stmts/sec':>14} {throughput:10.1f}",
+        f"{'p50 ms':>14} {p50_ms:10.1f}",
+        f"{'p95 ms':>14} {p95_ms:10.1f}",
+        f"admission: admitted={stats['admitted_total']} "
+        f"rejected={stats['rejected_global'] + stats['rejected_session']} "
+        f"queue_timeouts={stats['queue_timeouts']}",
+        f"plan cache: hits={cache['hits']} misses={cache['misses']} "
+        f"hit_ratio={cache['hit_ratio']:.3f} "
+        f"single_flight_waits={cache['single_flight_waits']}",
+        "differential checks: all results matched the reference evaluator",
+    ])
+    record_report("server load", report, metrics={
+        "server_statements_per_sec": round(throughput, 1),
+        "server_p95_latency_ms": round(p95_ms, 1),
+    })
+
+    # every admitted statement finished and left its slot
+    assert stats["pending"] == 0
+    # the cached 70% actually shared plans
+    assert cache["hit_ratio"] > 0.5, report

@@ -48,6 +48,10 @@ DIRECTIONS = {
     "executor_speedup_projection": "higher",
     "executor_speedup_micro_median": "higher",
     "executor_speedup_paper_q4": "higher",
+    # serving front end load bench (wall-clock; baselines are recorded
+    # conservatively, the gate catches collapses, not machine noise)
+    "server_statements_per_sec": "higher",
+    "server_p95_latency_ms": "lower",
 }
 
 
@@ -66,11 +70,19 @@ def relative_delta(baseline: float, current: float) -> float:
     return (current - baseline) / scale
 
 
-def check(tolerance_percent: float) -> int:
+def check(tolerance_percent: float, only: str | None = None) -> int:
     if not BASELINES.exists():
         print(f"error: no baselines at {BASELINES}", file=sys.stderr)
         return 2
     baselines = json.loads(BASELINES.read_text())
+    if only is not None:
+        baselines = {
+            bench: entry for bench, entry in baselines.items()
+            if bench.startswith(only)
+        }
+        if not baselines:
+            print(f"error: no baselines match --only {only}", file=sys.stderr)
+            return 2
     results = load_results()
     tolerance = tolerance_percent / 100.0
     failures: list[str] = []
@@ -144,10 +156,15 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance", type=float, default=25.0,
         help="allowed drift in the worse direction, percent (default 25)",
     )
+    parser.add_argument(
+        "--only", default=None, metavar="PREFIX",
+        help="gate only baselines whose name starts with PREFIX (lets a "
+        "job that ran a single bench skip the others' missing results)",
+    )
     args = parser.parse_args(argv)
     if args.update:
         return update()
-    return check(args.tolerance)
+    return check(args.tolerance, args.only)
 
 
 if __name__ == "__main__":

@@ -28,8 +28,10 @@ from .analysis import (
 from .cbqt.framework import CbqtConfig, OptimizationReport
 from .database import Database, OptimizedQuery, OptimizerConfig, QueryResult
 from .errors import (
+    AdmissionRejected,
     FaultInjected,
     ReproError,
+    SessionNotFound,
     StatementCancelled,
     StatementTimeout,
     VerificationError,
@@ -46,9 +48,10 @@ from .resilience import (
     inject,
     injection_points,
 )
+from .server import ReproServer, ServerConfig
 from .service import Cursor, PlanCache, PreparedStatement, QueryService, Session
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Database",
@@ -62,6 +65,8 @@ __all__ = [
     "QueryService",
     "Session",
     "Cursor",
+    "ReproServer",
+    "ServerConfig",
     "Diagnostic",
     "DiagnosticReport",
     "QTreeVerifier",
@@ -71,6 +76,8 @@ __all__ = [
     "VerificationError",
     "StatementTimeout",
     "StatementCancelled",
+    "AdmissionRejected",
+    "SessionNotFound",
     "FaultInjected",
     "ResilienceConfig",
     "DegradationInfo",

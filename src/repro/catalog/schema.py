@@ -12,6 +12,7 @@ unnesting rule from §2.2.1 of the paper).
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -170,6 +171,10 @@ class Catalog:
         #: function name -> per-call cost in work units; presence marks the
         #: function as "expensive" per §2.2.6 of the paper.
         self.expensive_functions: dict[str, float] = {}
+        #: serializes DDL and version bumps — the server front end runs
+        #: DDL on worker threads concurrently with parses on others, and
+        #: a lost version bump would leave a stale plan cached forever
+        self._lock = threading.Lock()
         self._version = 0
         self._table_versions: dict[str, int] = {}
 
@@ -185,16 +190,18 @@ class Catalog:
         return self._table_versions.get(name.lower(), 0)
 
     def _bump(self, table: str) -> None:
-        self._version += 1
-        key = table.lower()
-        self._table_versions[key] = self._table_versions.get(key, 0) + 1
+        with self._lock:
+            self._version += 1
+            key = table.lower()
+            self._table_versions[key] = self._table_versions.get(key, 0) + 1
 
     # -- definition --------------------------------------------------------
 
     def add_table(self, table: TableDef) -> TableDef:
-        if table.name in self.tables:
-            raise CatalogError(f"table {table.name!r} already exists")
-        self.tables[table.name] = table
+        with self._lock:
+            if table.name in self.tables:
+                raise CatalogError(f"table {table.name!r} already exists")
+            self.tables[table.name] = table
         self._bump(table.name)
         if table.primary_key:
             self._add_key_index(table, table.primary_key, "pk")

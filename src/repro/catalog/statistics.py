@@ -11,6 +11,7 @@ cache lives in :mod:`repro.cbqt.caching` and wraps the functions here.
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -182,6 +183,10 @@ class StatisticsRegistry:
 
     def __init__(self) -> None:
         self._stats: dict[str, TableStats] = {}
+        #: guards version bumps: ANALYZE and bulk-insert drops run on
+        #: server worker threads concurrently, and `+= 1` on a shared
+        #: counter is not atomic — a lost bump is a stale cached plan
+        self._lock = threading.Lock()
         self._version = 0
         self._table_versions: dict[str, int] = {}
 
@@ -195,9 +200,10 @@ class StatisticsRegistry:
         return self._table_versions.get(table.lower(), 0)
 
     def _bump(self, table: str) -> None:
-        self._version += 1
-        key = table.lower()
-        self._table_versions[key] = self._table_versions.get(key, 0) + 1
+        with self._lock:
+            self._version += 1
+            key = table.lower()
+            self._table_versions[key] = self._table_versions.get(key, 0) + 1
 
     def set(self, table: str, stats: TableStats) -> None:
         self._stats[table.lower()] = stats

@@ -47,9 +47,12 @@ the scripts and prints the unified metrics snapshot, ``python -m
 repro check "SQL" [script ...]`` runs the optimizer sanitizer over the
 query, printing every invariant violation attributed to the
 transformation + CBQT state that produced it (exit status 1 if any
-errors are found), and ``python -m repro quarantine [stats|reset
+errors are found), ``python -m repro quarantine [stats|reset
 [NAME]] [script ...]`` inspects or resets the transformation
-quarantine after running the scripts.
+quarantine after running the scripts, and ``python -m repro serve
+[script ...] [--host H] [--port P] [--workers N]`` runs the scripts and
+then serves the database over the HTTP/JSON protocol
+(:mod:`repro.server`) until interrupted.
 """
 
 from __future__ import annotations
@@ -538,6 +541,64 @@ def _cmd_metrics(args: list[str], shell: Shell) -> int:
     return 0
 
 
+def _cmd_serve(args: list[str], shell: Shell) -> int:
+    """``repro serve [script ...] [--host H] [--port P] [--workers N]
+    [--timeout S] [--idle-timeout S] [--verbose]`` — run the scripts
+    (schema / data setup), then serve the database over HTTP/JSON until
+    interrupted.  All sessions share the shell's plan cache."""
+    from .server import ReproServer, ServerConfig
+    from .server.http import RequestHandler, make_http_server
+
+    config = ServerConfig()
+    scripts: list[str] = []
+    flags = {
+        "--host": ("host", str),
+        "--port": ("port", int),
+        "--workers": ("workers", int),
+        "--timeout": ("statement_timeout", float),
+        "--idle-timeout": ("idle_timeout", float),
+    }
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--verbose":
+            RequestHandler.verbose = True
+            i += 1
+        elif arg in flags:
+            if i + 1 >= len(args):
+                shell.echo(f"usage: serve ... {arg} VALUE")
+                return 2
+            field, cast = flags[arg]
+            try:
+                setattr(config, field, cast(args[i + 1]))
+            except ValueError:
+                shell.echo(f"error: {arg} expects a {cast.__name__}")
+                return 2
+            i += 2
+        elif arg.startswith("--"):
+            shell.echo(f"error: unknown flag {arg}")
+            return 2
+        else:
+            scripts.append(arg)
+            i += 1
+    for path in scripts:
+        with open(path) as handle:
+            shell.run_script(handle.read())
+    app = ReproServer(service=shell.service, config=config)
+    server = make_http_server(app)
+    host, port = server.server_address[:2]
+    shell.echo(f"serving on http://{host}:{port} "
+               f"({config.workers} workers); Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        shell.echo("shutting down")
+    finally:
+        server.server_close()
+        app.close()
+    return 0
+
+
 SUBCOMMANDS = {
     "cache-stats": _cmd_cache_stats,
     "check": _cmd_check,
@@ -545,6 +606,7 @@ SUBCOMMANDS = {
     "explain-analyze": _cmd_explain_analyze,
     "metrics": _cmd_metrics,
     "quarantine": _cmd_quarantine,
+    "serve": _cmd_serve,
     "trace": _cmd_trace,
 }
 

@@ -31,7 +31,7 @@ from .cbqt.framework import CbqtConfig, CbqtFramework, OptimizationReport
 from .engine.executor import ExecStats, Executor
 from .engine.expressions import FunctionRegistry
 from .engine.reference import ReferenceEvaluator
-from .engine.tables import Storage
+from .engine.tables import Storage, StorageSnapshot
 from .engine.vector import VectorExecutor
 from .engine.vector.parallel import worker_count
 from .errors import (
@@ -161,6 +161,33 @@ class OptimizedQuery:
         lines = annotation_lines(self.report)
         lines.append(self.plan.describe())
         return "\n".join(lines)
+
+
+@dataclass
+class ReadSnapshot:
+    """A consistent point-in-time read handle over one database.
+
+    Pins every table's current copy-on-write version
+    (:class:`~repro.engine.tables.StorageSnapshot`) together with the
+    catalog/statistics version counters observed at pin time.  Executing
+    against the handle (``execute_plan(storage=snapshot.storage)``) sees
+    exactly the pinned data regardless of concurrent DDL / INSERT /
+    ANALYZE, and the recorded versions let the plan cache validate (and
+    hard parses record) dependencies *as of the snapshot* rather than
+    racing the live counters — this is the snapshot-read isolation the
+    multi-session server front end (:mod:`repro.server`) serves reads
+    under."""
+
+    storage: StorageSnapshot
+    #: table -> (catalog_version, statistics_version) at pin time
+    table_versions: dict
+
+    def versions(self, table: str) -> tuple:
+        """Version pair for *table* as of the snapshot (the
+        :class:`~repro.service.plan_cache.PlanCache` VersionReader
+        contract); tables created after the pin read as (0, 0) — absent,
+        exactly as the snapshot sees them."""
+        return self.table_versions.get(table.lower(), (0, 0))
 
 
 @dataclass
@@ -315,6 +342,20 @@ class Database:
             yield tracer
         finally:
             self.tracer = previous
+
+    def read_snapshot(self) -> ReadSnapshot:
+        """Pin a consistent point-in-time view for reads: every table's
+        current copy-on-write version plus the catalog/statistics version
+        counters at pin time (see :class:`ReadSnapshot`)."""
+        storage = self.storage.snapshot()
+        versions = {
+            name: (
+                self.catalog.table_version(name),
+                self.statistics.table_version(name),
+            )
+            for name in storage.versions()
+        }
+        return ReadSnapshot(storage, versions)
 
     def snapshot(self) -> dict:
         """One consistent export of every metric the instance kept:
@@ -567,6 +608,7 @@ class Database:
         token: Optional[CancelToken] = None,
         analyze: bool = False,
         executor: Optional[str] = None,
+        storage: Optional[StorageSnapshot] = None,
     ) -> QueryResult:
         """Run an already-optimized query with the given bind values.
 
@@ -575,7 +617,10 @@ class Database:
         profiles every operator (invocations + wall-clock self-time) for
         :meth:`QueryResult.explain_analyze`.  *executor* picks the
         engine for this statement ("row" / "vector" / "parallel");
-        the default is the database's :attr:`executor_mode`."""
+        the default is the database's :attr:`executor_mode`.  *storage*
+        substitutes a pinned :class:`~repro.engine.tables.StorageSnapshot`
+        (from :meth:`read_snapshot`) for the live tables, giving the run
+        snapshot-read isolation against concurrent writers."""
         config = config or self.config
         mode = executor or self.executor_mode
         if mode not in EXECUTOR_MODES:
@@ -585,7 +630,7 @@ class Database:
             )
         physical = self._physical(config)
         row_executor = Executor(
-            self.storage,
+            storage if storage is not None else self.storage,
             self.catalog,
             self.functions,
             plan_subquery=physical.optimize,

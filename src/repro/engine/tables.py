@@ -1,29 +1,64 @@
-"""In-memory row storage with index maintenance.
+"""In-memory row storage with index maintenance and copy-on-write
+versioning.
 
 Rows are stored as plain dicts keyed by bare column name; scan operators
 re-key them with the from-item alias (``"alias.column"``) when producing
 execution rows.  Each catalog index gets a hash map for equality probes
 and a sorted key list for range scans, mimicking a B-tree's two access
 patterns.
+
+Concurrency model (the server front end made cross-thread access the
+norm): every table's rows + index structures live in an immutable
+:class:`TableVersion`.  Writers (``insert``, ``attach_index``) build a
+*new* version under the table's write lock — sharing unchanged index
+buckets structurally — and publish it with one atomic reference swap, so
+
+* a batch insert is all-or-nothing: readers see the table before the
+  batch or after it, never a torn middle (and a mid-batch constraint
+  violation leaves the table untouched);
+* a reader that pins a :class:`TableSnapshot` (or a whole
+  :class:`StorageSnapshot`) keeps one consistent version for as long as
+  it holds the handle, regardless of concurrent DDL/DML — the snapshot
+  semantics the query-serving front end (:mod:`repro.server`) relies on.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Iterator, Optional, Sequence
+import threading
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from ..catalog.schema import Index, TableDef
 from ..errors import ExecutionError
 
 
 class IndexData:
-    """Runtime structure backing one catalog index."""
+    """Runtime structure backing one catalog index.
+
+    Instances are owned by exactly one :class:`TableVersion` and never
+    mutated after the version is published; ``copy()`` produces the next
+    version's structure, sharing unmodified row-id buckets.
+    """
 
     def __init__(self, index: Index):
         self.index = index
         self._hash: dict[tuple, list[int]] = {}
         self._sorted_keys: list[tuple] = []
         self._sorted_dirty = False
+        #: keys whose buckets are shared with the version this structure
+        #: was copied from; such a bucket is replaced (not appended to)
+        #: on first touch so published versions stay immutable
+        self._inherited: set[tuple] = set()
+
+    def copy(self) -> "IndexData":
+        """A shallow structural copy for the next copy-on-write version:
+        the key map is new, the row-id buckets are shared until touched."""
+        clone = IndexData(self.index)
+        clone._hash = dict(self._hash)
+        clone._sorted_keys = self._sorted_keys
+        clone._sorted_dirty = self._sorted_dirty
+        clone._inherited = set(self._hash)
+        return clone
 
     def insert(self, key: tuple, row_id: int) -> None:
         if any(part is None for part in key):
@@ -36,6 +71,9 @@ class IndexData:
             raise ExecutionError(
                 f"unique index {self.index.name!r} violated for key {key!r}"
             )
+        elif key in self._inherited:
+            self._hash[key] = bucket + [row_id]
+            self._inherited.discard(key)
         else:
             bucket.append(row_id)
 
@@ -132,33 +170,167 @@ class _Infinity:
 _INFINITY = _Infinity()
 
 
+class TableVersion:
+    """One immutable committed state of a table: rows + index structures.
+
+    Published versions are never mutated; the columnar cache is built
+    lazily but idempotently (a benign race at worst builds it twice)."""
+
+    __slots__ = ("rows", "indexes", "version", "_columnar")
+
+    def __init__(
+        self,
+        rows: list[dict],
+        indexes: dict[str, IndexData],
+        version: int,
+    ):
+        self.rows = rows
+        self.indexes = indexes
+        self.version = version
+        self._columnar: Optional[dict[str, list]] = None
+
+    def columnar(self, table: TableDef) -> dict[str, list]:
+        """Column-major view (bare column names + ``rowid``) of this
+        version, cached on the version — snapshots of the same committed
+        state share one build."""
+        cached = self._columnar
+        if cached is None:
+            rows = self.rows
+            cached = {
+                name: [row[name] for row in rows] for name in table.columns
+            }
+            cached["rowid"] = list(range(len(rows)))
+            self._columnar = cached
+        return cached
+
+
+class TableSnapshot:
+    """A pinned, read-only view of one table at one committed version.
+
+    Exposes the same read surface as :class:`TableData` (``rows``,
+    ``indexes``, ``index_named``, ``row_count``, ``columnar``) so
+    executors run against either interchangeably."""
+
+    __slots__ = ("table", "_version")
+
+    def __init__(self, table: TableDef, version: TableVersion):
+        self.table = table
+        self._version = version
+
+    @property
+    def rows(self) -> list[dict]:
+        return self._version.rows
+
+    @property
+    def indexes(self) -> dict[str, IndexData]:
+        return self._version.indexes
+
+    @property
+    def version(self) -> int:
+        return self._version.version
+
+    @property
+    def row_count(self) -> int:
+        return len(self._version.rows)
+
+    def index_named(self, name: str) -> IndexData:
+        try:
+            return self._version.indexes[name]
+        except KeyError:
+            raise ExecutionError(
+                f"no index {name!r} on table {self.table.name!r}"
+            ) from None
+
+    def columnar(self) -> dict[str, list]:
+        return self._version.columnar(self.table)
+
+
 class TableData:
-    """Rows plus live index structures for one table."""
+    """The mutable handle on one table: a reference to the current
+    :class:`TableVersion` plus the write lock that serializes writers."""
 
     def __init__(self, table: TableDef):
         self.table = table
-        self.rows: list[dict] = []
-        self.indexes: dict[str, IndexData] = {
-            ix.name: IndexData(ix) for ix in table.indexes
-        }
+        self._lock = threading.Lock()
+        self._current = TableVersion(
+            [], {ix.name: IndexData(ix) for ix in table.indexes}, 0
+        )
+
+    # -- read surface (delegates to the current version) -------------------
+
+    @property
+    def rows(self) -> list[dict]:
+        return self._current.rows
+
+    @property
+    def indexes(self) -> dict[str, IndexData]:
+        return self._current.indexes
+
+    @property
+    def version(self) -> int:
+        """Data version, bumped by every committed write."""
+        return self._current.version
+
+    @property
+    def row_count(self) -> int:
+        return len(self._current.rows)
+
+    def index_named(self, name: str) -> IndexData:
+        try:
+            return self._current.indexes[name]
+        except KeyError:
+            raise ExecutionError(
+                f"no index {name!r} on table {self.table.name!r}"
+            ) from None
+
+    def columnar(self) -> dict[str, list]:
+        """Columnar view of the current version (see
+        :meth:`TableVersion.columnar`)."""
+        return self._current.columnar(self.table)
+
+    def snapshot(self) -> TableSnapshot:
+        """Pin the current committed version (one atomic read)."""
+        return TableSnapshot(self.table, self._current)
+
+    # -- writes (copy-on-write, all-or-nothing) -----------------------------
 
     def attach_index(self, index: Index) -> None:
-        data = IndexData(index)
-        for row_id, row in enumerate(self.rows):
-            data.insert(tuple(row[c] for c in index.columns), row_id)
-        self.indexes[index.name] = data
+        with self._lock:
+            current = self._current
+            data = IndexData(index)
+            for row_id, row in enumerate(current.rows):
+                data.insert(tuple(row[c] for c in index.columns), row_id)
+            indexes = dict(current.indexes)
+            indexes[index.name] = data
+            self._current = TableVersion(
+                current.rows, indexes, current.version + 1
+            )
 
     def insert(self, rows: Iterable[dict]) -> int:
-        count = 0
-        for row in rows:
-            normalised = self._normalise(row)
-            row_id = len(self.rows)
-            self.rows.append(normalised)
-            for data in self.indexes.values():
-                key = tuple(normalised[c] for c in data.index.columns)
-                data.insert(key, row_id)
-            count += 1
-        return count
+        """Insert dict rows (missing columns become NULL).
+
+        The batch commits atomically: concurrent readers see the table
+        before all of the rows or after all of them, and any constraint
+        violation mid-batch leaves the table unchanged."""
+        with self._lock:
+            current = self._current
+            new_rows = list(current.rows)
+            new_indexes = {
+                name: data.copy() for name, data in current.indexes.items()
+            }
+            count = 0
+            for row in rows:
+                normalised = self._normalise(row)
+                row_id = len(new_rows)
+                new_rows.append(normalised)
+                for data in new_indexes.values():
+                    key = tuple(normalised[c] for c in data.index.columns)
+                    data.insert(key, row_id)
+                count += 1
+            self._current = TableVersion(
+                new_rows, new_indexes, current.version + 1
+            )
+            return count
 
     def _normalise(self, row: dict) -> dict:
         normalised = {}
@@ -176,28 +348,53 @@ class TableData:
             )
         return normalised
 
-    def index_named(self, name: str) -> IndexData:
-        try:
-            return self.indexes[name]
-        except KeyError:
-            raise ExecutionError(
-                f"no index {name!r} on table {self.table.name!r}"
-            ) from None
 
-    @property
-    def row_count(self) -> int:
-        return len(self.rows)
+#: what plan operators actually require of "a table" — either the live
+#: handle or a pinned snapshot
+TableLike = Union[TableData, TableSnapshot]
+
+
+class StorageSnapshot:
+    """A pinned view of every table at one instant: the read half of the
+    :class:`Storage` interface (``get`` / ``has`` / ``tables``) backed by
+    per-table :class:`TableSnapshot` handles.
+
+    Executors constructed over a snapshot see a stable world: concurrent
+    inserts, index builds, and new tables do not appear, and each pinned
+    table is internally consistent (rows and indexes from one committed
+    version)."""
+
+    def __init__(self, tables: dict[str, TableSnapshot]):
+        self._tables = tables
+
+    def get(self, name: str) -> TableSnapshot:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise ExecutionError(f"no data for table {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> Sequence[TableSnapshot]:
+        return list(self._tables.values())
+
+    def versions(self) -> dict[str, int]:
+        """Pinned data version per table name."""
+        return {name: snap.version for name, snap in self._tables.items()}
 
 
 class Storage:
     """All table data for one database instance."""
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._tables: dict[str, TableData] = {}
 
     def create(self, table: TableDef) -> TableData:
         data = TableData(table)
-        self._tables[table.name] = data
+        with self._lock:
+            self._tables[table.name] = data
         return data
 
     def get(self, name: str) -> TableData:
@@ -210,4 +407,26 @@ class Storage:
         return name.lower() in self._tables
 
     def tables(self) -> Sequence[TableData]:
-        return list(self._tables.values())
+        with self._lock:
+            return list(self._tables.values())
+
+    def snapshot(
+        self, names: Optional[Iterable[str]] = None
+    ) -> StorageSnapshot:
+        """Pin the current version of every table (or just *names*).
+
+        Each table is pinned with one atomic read of its published
+        version; a concurrent batch insert is therefore visible either
+        fully or not at all, never partially."""
+        with self._lock:
+            if names is None:
+                selected = dict(self._tables)
+            else:
+                selected = {
+                    key: self._tables[key]
+                    for key in (name.lower() for name in names)
+                    if key in self._tables
+                }
+        return StorageSnapshot(
+            {name: data.snapshot() for name, data in selected.items()}
+        )

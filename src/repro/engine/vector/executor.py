@@ -61,7 +61,7 @@ from ..executor import ExecStats, Executor, _PlanRun
 from ..expressions import Accumulator, Row, agg_key
 from ..grouping import _hashable
 from ..reference import _sort_key
-from ..tables import TableData
+from ..tables import TableLike
 from . import batch as vbatch
 from .batch import Batch, chunk_rows
 from .kernels import KernelCompiler, NotVectorizable, PredicateKernel, ValueKernel
@@ -89,21 +89,12 @@ _MISSING = object()
 _NULL_KEY = _hashable(None)
 
 
-def _columnar(data: TableData) -> dict[str, list]:
+def _columnar(data: TableLike) -> dict[str, list]:
     """Columnar view of a table's rows (bare column names + ``rowid``),
-    cached on the :class:`TableData` and invalidated by row-count change
-    (the storage layer is append-only)."""
-    n = len(data.rows)
-    cached = getattr(data, "_columnar_cache", None)
-    if cached is not None and cached[0] == n:
-        return cached[1]
-    rows = data.rows
-    columns: dict[str, list] = {
-        name: [row[name] for row in rows] for name in data.table.columns
-    }
-    columns["rowid"] = list(range(n))
-    data._columnar_cache = (n, columns)  # type: ignore[attr-defined]
-    return columns
+    cached on the table's immutable :class:`TableVersion` — copy-on-write
+    storage means a version's columnar form never goes stale, and pinned
+    snapshots of the same committed state share one build."""
+    return data.columnar()
 
 
 class VectorExecutor:
@@ -319,7 +310,7 @@ class _VectorRun:
 
     def _scan_batches(self, plan: TableScan,
                       kernel: Optional[PredicateKernel],
-                      data: TableData, binding: Row) -> Iterator[Batch]:
+                      data: TableLike, binding: Row) -> Iterator[Batch]:
         charge = self.stats.charge
         cm = self._cm
         # charged per *stored* row, filtered or not — same as the row loop
@@ -328,7 +319,7 @@ class _VectorRun:
         columns = {
             f"{alias}.{name}": col for name, col in _columnar(data).items()
         }
-        n = len(data.rows)
+        n = len(columns[f"{alias}.rowid"])
         whole = Batch(columns, n)
         morsels = [
             (start, min(start + BATCH_SIZE, n))

@@ -89,6 +89,24 @@ class StatementCancelled(ReproError):
     """
 
 
+class AdmissionRejected(ReproError):
+    """The server front end refused a statement at admission: too many
+    in-flight statements or a full (global or per-session) queue.
+
+    Maps to HTTP 429 — the client should back off and retry; nothing
+    about the statement itself is wrong.
+    """
+
+
+class SessionNotFound(ReproError):
+    """A server request referenced a session (or a cursor/statement
+    handle within one) that does not exist — never created, explicitly
+    disconnected, or reaped after idling past the server's idle timeout.
+
+    Maps to HTTP 404.
+    """
+
+
 class FaultInjected(ReproError):
     """Raised by the fault-injection harness (:mod:`repro.resilience.faults`).
 

@@ -1,0 +1,131 @@
+"""Admission control for the query-serving front end.
+
+The server multiplexes every session's statements over one bounded
+worker pool; without admission control a burst of clients turns into an
+unbounded backlog where every statement times out.  The controller
+enforces two limits *before* work is enqueued:
+
+* a **global** cap on pending statements (running + queued) of
+  ``workers + max_queue_depth`` — beyond it new statements are refused
+  with :class:`~repro.errors.AdmissionRejected` (HTTP 429) so clients
+  back off instead of piling up;
+* a **per-session** queue-depth cap, so one chatty session cannot
+  monopolise the global queue.
+
+A third limit applies at dequeue time: a statement whose deadline burned
+while it sat in the queue fails with
+:class:`~repro.errors.StatementTimeout` (HTTP 408) without ever touching
+the optimizer — its deadline would have fired mid-parse anyway, and the
+worker slot is better spent on a statement that can still finish.
+
+Layering with the optimizer's own :class:`~repro.resilience.SearchGovernor`:
+admission bounds *how many* statements are in flight; the governor (fed
+the same per-request deadline through the statement's
+:class:`~repro.resilience.CancelToken`) bounds how long each admitted
+statement may optimize.  Together they keep tail latency bounded from
+both ends.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import AdmissionRejected
+
+
+@dataclass
+class ServerConfig:
+    """Knobs of the serving front end."""
+
+    host: str = "127.0.0.1"
+    port: int = 8390
+    #: worker threads executing statements (all sessions multiplexed)
+    workers: int = 4
+    #: admitted-but-not-running statements allowed beyond the workers
+    max_queue_depth: int = 32
+    #: pending statements allowed per session (running + queued)
+    session_queue_depth: int = 8
+    #: seconds of inactivity before a session is reaped
+    idle_timeout: float = 300.0
+    #: how often the reaper thread scans for idle sessions
+    reap_interval: float = 5.0
+    #: default per-statement wall-clock timeout (None = unbounded);
+    #: requests may override per call, sessions per connect
+    statement_timeout: Optional[float] = None
+
+    @property
+    def max_pending(self) -> int:
+        """Global cap on running + queued statements."""
+        return self.workers + self.max_queue_depth
+
+
+class AdmissionController:
+    """Thread-safe pending-statement accounting with refusal limits.
+
+    ``admit()`` reserves a pending slot or raises; every reservation is
+    paired with exactly one ``finish()`` (the server's drain loop calls
+    it in a ``finally``), so a statement that fails, times out, or is
+    cancelled can never leak its slot."""
+
+    def __init__(self, config: ServerConfig):
+        self._config = config
+        self._lock = threading.Lock()
+        #: statements admitted and not yet finished (queued + running)
+        self.pending = 0
+        #: statements currently occupying a worker
+        self.running = 0
+        self.admitted_total = 0
+        self.rejected_global = 0
+        self.rejected_session = 0
+        #: admitted statements whose deadline burned in the queue
+        self.queue_timeouts = 0
+
+    def admit(self, session_pending: int) -> None:
+        """Reserve a pending slot; *session_pending* is the admitting
+        session's current backlog (running + queued)."""
+        with self._lock:
+            if self.pending >= self._config.max_pending:
+                self.rejected_global += 1
+                raise AdmissionRejected(
+                    f"server saturated: {self.pending} statements pending "
+                    f"(limit {self._config.max_pending}); retry later"
+                )
+            if session_pending >= self._config.session_queue_depth:
+                self.rejected_session += 1
+                raise AdmissionRejected(
+                    f"session queue full: {session_pending} statements "
+                    f"pending (limit {self._config.session_queue_depth})"
+                )
+            self.pending += 1
+            self.admitted_total += 1
+
+    def start(self) -> None:
+        """An admitted statement began occupying a worker."""
+        with self._lock:
+            self.running += 1
+
+    def finish(self, was_running: bool = True) -> None:
+        """An admitted statement left the system (done, failed,
+        cancelled, or expired in the queue)."""
+        with self._lock:
+            self.pending -= 1
+            if was_running:
+                self.running -= 1
+
+    def record_queue_timeout(self) -> None:
+        with self._lock:
+            self.queue_timeouts += 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "pending": self.pending,
+                "running": self.running,
+                "max_pending": self._config.max_pending,
+                "admitted_total": self.admitted_total,
+                "rejected_global": self.rejected_global,
+                "rejected_session": self.rejected_session,
+                "queue_timeouts": self.queue_timeouts,
+            }

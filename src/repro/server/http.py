@@ -1,0 +1,280 @@
+"""HTTP/JSON transport over :class:`~repro.server.app.ReproServer`.
+
+Stdlib only: a ``ThreadingHTTPServer`` whose handler threads call the
+app synchronously — the app's admission controller and worker pool
+bound actual concurrency, so an unbounded number of keep-alive
+connections cannot overload the optimizer.
+
+Routes (all request/response bodies are JSON)::
+
+    POST   /sessions                     -> {"session_id": ...}
+    DELETE /sessions/<id>                -> {"closed": ...}
+    POST   /sessions/<id>/statements     {"sql"} -> {"statement_id"}
+    POST   /sessions/<id>/execute        {"sql"|"statement_id", "binds"?,
+                                          "timeout"?, "analyze"?,
+                                          "fetch_size"?} -> rows + stats
+    POST   /sessions/<id>/fetch          {"cursor_id", "n"?} -> next page
+    POST   /sessions/<id>/cancel         {"drain"?} -> {"cancelled": n}
+    POST   /sessions/<id>/explain        {"sql", "binds"?} -> {"plan"}
+    POST   /sessions/<id>/ddl            {"sql"} -> {"ok": true}
+    POST   /sessions/<id>/insert         {"table", "rows"} -> {"inserted"}
+    POST   /sessions/<id>/analyze        {"table"?} -> {"analyzed"}
+    GET    /healthz | /metrics | /cache | /quarantine | /sessions
+
+Typed engine errors map onto transport status codes; the body always
+carries ``{"error": {"type", "message"}}`` so clients can branch on the
+engine's exception taxonomy rather than parse prose:
+
+==============================  ======
+:class:`SessionNotFound`        404
+:class:`AdmissionRejected`      429 (back off and retry)
+:class:`StatementTimeout`       408
+:class:`StatementCancelled`     409
+other :class:`ReproError`       400
+anything else                   500
+==============================  ======
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..errors import (
+    AdmissionRejected,
+    ReproError,
+    SessionNotFound,
+    StatementCancelled,
+    StatementTimeout,
+)
+from .admission import ServerConfig
+from .app import ReproServer
+
+#: request bodies beyond this are refused (a denial-of-service guard,
+#: not a data limit — bulk loads should batch their /insert calls)
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+def _status_for(exc: BaseException) -> int:
+    if isinstance(exc, SessionNotFound):
+        return 404
+    if isinstance(exc, AdmissionRejected):
+        return 429
+    if isinstance(exc, StatementTimeout):
+        return 408
+    if isinstance(exc, StatementCancelled):
+        return 409
+    if isinstance(exc, ReproError):
+        return 400
+    return 500
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """One listening socket over one :class:`ReproServer` app."""
+
+    daemon_threads = True
+    # a client holding a keep-alive connection must not pin a handler
+    # thread forever between requests
+    timeout = 60
+
+    def __init__(self, app: ReproServer, host: str, port: int):
+        self.app = app
+        super().__init__((host, port), RequestHandler)
+
+
+class RequestHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ReproHTTPServer
+
+    #: set True (e.g. by the CLI's --verbose) to restore stderr request
+    #: logging; quiet by default so the load bench isn't I/O bound
+    verbose = False
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.verbose:
+            super().log_message(format, *args)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, exc: BaseException) -> None:
+        self._reply(_status_for(exc), {
+            "error": {"type": type(exc).__name__, "message": str(exc)}
+        })
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ReproError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except ValueError as exc:
+            raise ReproError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ReproError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        try:
+            handled = self._route(method)
+        except Exception as exc:  # typed errors become status codes
+            self._error(exc)
+            return
+        if not handled:
+            self._reply(404, {"error": {
+                "type": "NotFound",
+                "message": f"no route {method} {self.path}",
+            }})
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(self, method: str) -> bool:
+        app = self.server.app
+        path = self.path.split("?", 1)[0].rstrip("/")
+        parts = [p for p in path.split("/") if p]
+
+        if method == "GET":
+            admin = {
+                "healthz": lambda: {"ok": True, **app.stats()},
+                "metrics": app.metrics,
+                "cache": app.cache,
+                "quarantine": app.quarantine,
+                "sessions": lambda: {"sessions": app.sessions.ids()},
+            }
+            if len(parts) == 1 and parts[0] in admin:
+                self._reply(200, admin[parts[0]]())
+                return True
+            return False
+
+        if method == "DELETE":
+            if len(parts) == 2 and parts[0] == "sessions":
+                self._reply(200, app.disconnect(parts[1]))
+                return True
+            return False
+
+        if method != "POST":
+            return False
+        if parts == ["sessions"]:
+            self._reply(200, app.connect(self._body()))
+            return True
+        if len(parts) != 3 or parts[0] != "sessions":
+            return False
+        session_id, verb = parts[1], parts[2]
+        body = self._body()
+        if verb == "statements":
+            payload = app.prepare(session_id, _require(body, "sql"))
+        elif verb == "execute":
+            payload = app.execute(
+                session_id,
+                sql=body.get("sql"),
+                statement_id=body.get("statement_id"),
+                binds=body.get("binds"),
+                timeout=_number(body, "timeout"),
+                analyze=bool(body.get("analyze", False)),
+                fetch_size=_integer(body, "fetch_size"),
+            )
+        elif verb == "fetch":
+            payload = app.fetch(
+                session_id,
+                _require(body, "cursor_id"),
+                _integer(body, "n", 100),
+            )
+        elif verb == "cancel":
+            payload = app.cancel(session_id, bool(body.get("drain", False)))
+        elif verb == "explain":
+            payload = app.explain(
+                session_id, _require(body, "sql"), body.get("binds")
+            )
+        elif verb == "ddl":
+            payload = app.ddl(session_id, _require(body, "sql"))
+        elif verb == "insert":
+            payload = app.insert(
+                session_id, _require(body, "table"), body.get("rows") or []
+            )
+        elif verb == "analyze":
+            payload = app.analyze(session_id, body.get("table"))
+        else:
+            return False
+        self._reply(200, payload)
+        return True
+
+    # -- verbs -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler contract
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+def _require(body: dict, key: str) -> str:
+    value = body.get(key)
+    if not value or not isinstance(value, str):
+        raise ReproError(f"request needs a non-empty {key!r} field")
+    return value
+
+
+def _number(body: dict, key: str) -> Optional[float]:
+    value = body.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ReproError(f"{key!r} must be a number")
+    return float(value)
+
+
+def _integer(body: dict, key: str, default: Optional[int] = None) -> Optional[int]:
+    value = body.get(key, default)
+    if value is None:
+        return None
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ReproError(f"{key!r} must be an integer")
+    return value
+
+
+def make_http_server(
+    app: ReproServer,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+) -> ReproHTTPServer:
+    """Bind a listening HTTP server over *app* (port 0 picks a free
+    port; the bound address is ``server.server_address``) and start the
+    app's idle reaper."""
+    config = app.config
+    server = ReproHTTPServer(
+        app,
+        config.host if host is None else host,
+        config.port if port is None else port,
+    )
+    app.start()
+    return server
+
+
+def serve(
+    app: Optional[ReproServer] = None,
+    config: Optional[ServerConfig] = None,
+) -> None:
+    """Blocking entry point: serve until interrupted."""
+    app = app or ReproServer(config=config)
+    server = make_http_server(app)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.server_close()
+        app.close()

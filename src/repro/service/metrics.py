@@ -27,6 +27,9 @@ class CacheMetrics:
         "evictions",
         "reoptimizations",
         "executions",
+        # concurrent misses that waited on a single-flight leader instead
+        # of redundantly hard parsing (thundering-herd avoidance)
+        "single_flight_waits",
         # resilience layer (degradation ladder / quarantine / cancellation)
         "degraded_executions",
         "degraded_retries",

@@ -16,10 +16,11 @@ This is a miniature of Oracle's server-side cursor machinery:
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Optional
+from typing import Callable, Optional
 
-from ..database import Database, OptimizerConfig, QueryResult
+from ..database import Database, OptimizerConfig, QueryResult, ReadSnapshot
 from ..errors import ReproError, StatementCancelled, StatementTimeout
 from ..qtree.binds import apply_peeks, referenced_tables
 from ..resilience import CancelToken, activate
@@ -141,6 +142,11 @@ class QueryService:
         self.cache = PlanCache(capacity, self.metrics)
         self.reoptimize_threshold = reoptimize_threshold
         self.caching = caching
+        # single-flight hard parsing: concurrent misses on one cache key
+        # elect a leader that optimizes once; the rest wait and share the
+        # stored entry instead of thundering-herd re-optimizing
+        self._gate_lock = threading.Lock()
+        self._gates: dict[tuple, threading.Lock] = {}
         # surface the plan-cache accounting in Database.snapshot();
         # collectors run at snapshot time only, so this costs nothing
         # on the serving path
@@ -168,6 +174,7 @@ class QueryService:
         timeout: Optional[float] = None,
         token: Optional[CancelToken] = None,
         analyze: bool = False,
+        snapshot: Optional[ReadSnapshot] = None,
     ) -> QueryResult:
         """Serve one execution: soft parse against the plan cache, hard
         parse (with bind peeking) on miss, adaptive re-optimization on
@@ -178,7 +185,12 @@ class QueryService:
         Both abort with a typed error and never poison the plan cache.
         *analyze* arms the per-operator execution profiler so the result
         supports full :meth:`~repro.database.QueryResult.explain_analyze`
-        output (the plan itself is still cached and shared normally)."""
+        output (the plan itself is still cached and shared normally).
+        *snapshot* pins the read to a point-in-time
+        :class:`~repro.database.ReadSnapshot`: rows come from the pinned
+        copy-on-write table versions, and plan-cache validation uses the
+        versions recorded in the snapshot handle rather than the live
+        counters (the server's snapshot-read isolation)."""
         if token is None and timeout is not None:
             token = CancelToken()
         if token is not None and timeout is not None:
@@ -187,7 +199,8 @@ class QueryService:
         try:
             with activate(token):
                 entry, status, optimize_seconds = self._cursor_for(
-                    sql, bind_map, config, token
+                    sql, bind_map, config, token,
+                    versions=snapshot.versions if snapshot else None,
                 )
                 result = self.database.execute_plan(
                     entry.optimized,
@@ -197,6 +210,7 @@ class QueryService:
                     cache_status=status,
                     token=token,
                     analyze=analyze,
+                    storage=snapshot.storage if snapshot else None,
                 )
         except StatementTimeout:
             self.metrics.bump("timeouts")
@@ -268,29 +282,40 @@ class QueryService:
         bind_map: dict,
         config: Optional[OptimizerConfig],
         token: Optional[CancelToken] = None,
+        versions: Optional[Callable[[str], tuple]] = None,
     ) -> tuple[CacheEntry, str, float]:
         """Find or build the cursor serving this call; returns the entry,
-        its cache disposition, and the optimize time spent (0 on hit)."""
+        its cache disposition, and the optimize time spent (0 on hit).
+
+        *versions* overrides the dependency-version reader used for both
+        cache validation and dependency recording; snapshot reads pass
+        the versions pinned in their :class:`ReadSnapshot` so a cached
+        plan is judged against the data the statement will actually see."""
+        reader = versions or self._versions
         key = self._key(sql, config)
         if not self.caching:
-            entry, seconds = self._hard_parse(key, sql, bind_map, config, token)
+            entry, seconds = self._hard_parse(
+                key, sql, bind_map, config, token, reader
+            )
             self.metrics.bump("misses")
             return entry, "uncached", seconds
 
         try:
-            entry = self.cache.lookup(key, self._versions)
+            entry = self.cache.lookup(key, reader)
         except (StatementTimeout, StatementCancelled):
             raise
         except ReproError:
             # A broken cache must not take statements down with it:
             # degrade to an uncached hard parse for this call.
             self.metrics.bump("cache_errors")
-            entry, seconds = self._hard_parse(key, sql, bind_map, config, token)
+            entry, seconds = self._hard_parse(
+                key, sql, bind_map, config, token, reader
+            )
             return entry, "uncached", seconds
         if entry is None:
-            entry, seconds = self._hard_parse(key, sql, bind_map, config, token)
-            self._store(entry)
-            return entry, "miss", seconds
+            return self._build_gated(
+                key, sql, bind_map, config, token, reader, "miss"
+            )
 
         if (
             entry.degraded is not None
@@ -298,23 +323,76 @@ class QueryService:
         ):
             # The quarantine was reset since this fallback plan was built:
             # give the statement another shot at full CBQT.
-            entry, seconds = self._hard_parse(key, sql, bind_map, config, token)
-            self._store(entry)
-            self.metrics.bump("degraded_retries")
-            return entry, "retry", seconds
+            return self._build_gated(
+                key, sql, bind_map, config, token, reader, "retry",
+                counter="degraded_retries",
+            )
 
         if entry.bind_profile and bind_map != entry.peeked_binds:
             drift = max_drift(
                 entry.bind_profile, bind_map, self.database.statistics
             )
             if drift > self.reoptimize_threshold:
-                entry, seconds = self._hard_parse(
-                    key, sql, bind_map, config, token
+                return self._build_gated(
+                    key, sql, bind_map, config, token, reader, "reoptimized",
+                    counter="reoptimizations",
                 )
-                self._store(entry)
-                self.metrics.bump("reoptimizations")
-                return entry, "reoptimized", seconds
         return entry, "hit", 0.0
+
+    def _build_gated(
+        self,
+        key: tuple,
+        sql: str,
+        bind_map: dict,
+        config: Optional[OptimizerConfig],
+        token: Optional[CancelToken],
+        reader: Callable[[str], tuple],
+        status: str,
+        counter: Optional[str] = None,
+    ) -> tuple[CacheEntry, str, float]:
+        """Hard parse behind a per-key gate (single flight).
+
+        Concurrent callers needing the same cursor elect a leader: the
+        first to claim the gate optimizes and stores; the rest block,
+        then re-check the cache and share the leader's entry instead of
+        redundantly re-optimizing (no thundering herd).  A follower whose
+        re-check still comes up empty — the leader failed or was
+        cancelled — builds its own entry; errors never wedge the gate."""
+        with self._gate_lock:
+            gate = self._gates.setdefault(key, threading.Lock())
+        leader = gate.acquire(blocking=False)
+        if not leader:
+            gate.acquire()
+        try:
+            if not leader:
+                self.metrics.bump("single_flight_waits")
+                if token is not None:
+                    token.check()
+                try:
+                    entry = self.cache.lookup(key, reader)
+                except (StatementTimeout, StatementCancelled):
+                    raise
+                except ReproError:
+                    entry = None
+                if entry is not None and not (
+                    entry.degraded is not None
+                    and entry.quarantine_epoch != self.database.quarantine.epoch
+                ):
+                    # Share the leader's fresh cursor.  Bind drift is not
+                    # re-checked here: the entry was peeked moments ago,
+                    # and the next execution re-evaluates drift anyway.
+                    return entry, "hit", 0.0
+            entry, seconds = self._hard_parse(
+                key, sql, bind_map, config, token, reader
+            )
+            self._store(entry)
+            if counter is not None:
+                self.metrics.bump(counter)
+            return entry, status, seconds
+        finally:
+            gate.release()
+            with self._gate_lock:
+                self._gates.pop(key, None)
 
     def _store(self, entry: CacheEntry) -> None:
         """Store *entry*, tolerating cache faults (the plan still serves
@@ -333,15 +411,17 @@ class QueryService:
         bind_map: dict,
         config: Optional[OptimizerConfig],
         token: Optional[CancelToken] = None,
+        versions: Optional[Callable[[str], tuple]] = None,
     ) -> tuple[CacheEntry, float]:
         """Parse, peek binds, optimize; build the cache entry recording
         the dependency versions read *before* optimization, so any
         concurrent catalog/statistics change invalidates the entry."""
+        reader = versions or self._versions
         database = self.database
         started = time.perf_counter()
         tree = database.parse(sql)
         dependencies = {
-            table: self._versions(table) for table in referenced_tables(tree)
+            table: reader(table) for table in referenced_tables(tree)
         }
         apply_peeks(tree, bind_map)
         profile = extract_bind_profile(tree, database.statistics)
