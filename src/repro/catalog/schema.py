@@ -183,11 +183,11 @@ class Catalog:
     @property
     def version(self) -> int:
         """Monotonic counter bumped by every DDL change."""
-        return self._version
+        return self._version  # staticcheck: ignore[lock.discipline] GIL-atomic int/dict read; writers serialize under the lock
 
     def table_version(self, name: str) -> int:
         """DDL version of one table (0 until it exists)."""
-        return self._table_versions.get(name.lower(), 0)
+        return self._table_versions.get(name.lower(), 0)  # staticcheck: ignore[lock.discipline] GIL-atomic int/dict read; writers serialize under the lock
 
     def _bump(self, table: str) -> None:
         with self._lock:

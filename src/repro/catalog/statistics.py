@@ -193,11 +193,11 @@ class StatisticsRegistry:
     @property
     def version(self) -> int:
         """Monotonic counter bumped by every statistics change."""
-        return self._version
+        return self._version  # staticcheck: ignore[lock.discipline] GIL-atomic int/dict read; writers serialize under the lock
 
     def table_version(self, table: str) -> int:
         """Statistics version of one table (0 until first change)."""
-        return self._table_versions.get(table.lower(), 0)
+        return self._table_versions.get(table.lower(), 0)  # staticcheck: ignore[lock.discipline] GIL-atomic int/dict read; writers serialize under the lock
 
     def _bump(self, table: str) -> None:
         with self._lock:

@@ -26,6 +26,10 @@ INDEX / SELECT), the shell understands meta commands:
                       buffered events, or clear the buffer
 .timeout SECONDS|off  statement timeout for subsequent queries
 .load FILE            run statements from a SQL script
+.staticcheck [--verbose|--family NAMES]  run the project static
+                      analyzer (lock discipline, lock order,
+                      cancellation/fault coverage, error taxonomy,
+                      metrics/trace hygiene) against the baseline
 .quit                 exit
 
 ``EXPLAIN SELECT ...;`` and ``EXPLAIN ANALYZE SELECT ...;`` work as SQL
@@ -49,10 +53,13 @@ query, printing every invariant violation attributed to the
 transformation + CBQT state that produced it (exit status 1 if any
 errors are found), ``python -m repro quarantine [stats|reset
 [NAME]] [script ...]`` inspects or resets the transformation
-quarantine after running the scripts, and ``python -m repro serve
+quarantine after running the scripts, ``python -m repro serve
 [script ...] [--host H] [--port P] [--workers N]`` runs the scripts and
 then serves the database over the HTTP/JSON protocol
-(:mod:`repro.server`) until interrupted.
+(:mod:`repro.server`) until interrupted, and ``python -m repro
+staticcheck [--json] [--verbose]`` runs the project-aware static
+analyzer (:mod:`repro.staticcheck`) and exits 1 on any finding not in
+the committed baseline.
 """
 
 from __future__ import annotations
@@ -131,7 +138,7 @@ class Shell:
             elif head == "EXPLAIN":
                 self._run_explain(statement)
             elif head == "SELECT" or statement.lstrip().startswith("("):
-                self._run_query(statement)
+                self._execute_statement(statement)
             elif head == "INSERT":
                 self.echo("error: use .load with generated data or the "
                           "Python API to insert rows")
@@ -152,7 +159,7 @@ class Shell:
         else:
             self.echo(self.service.explain(rest))
 
-    def _run_query(self, sql: str) -> None:
+    def _execute_statement(self, sql: str) -> None:
         result = self.service.execute(sql, timeout=self.timeout)
         if self.show_explain:
             for line in annotation_lines(result.report, result.cache_status):
@@ -323,6 +330,10 @@ class Shell:
         )
         self.service.invalidate()  # cached plans were not audited
         self.echo(f"debug checks {'on' if enabled else 'off'}")
+
+    def _meta_staticcheck(self, args) -> None:
+        from .staticcheck import main as staticcheck_main
+        staticcheck_main(args, echo=self.echo)
 
     def _meta_quarantine(self, args) -> None:
         action = args[0].lower() if args else "stats"
@@ -599,6 +610,14 @@ def _cmd_serve(args: list[str], shell: Shell) -> int:
     return 0
 
 
+def _cmd_staticcheck(args: list[str], shell: Shell) -> int:
+    """``repro staticcheck [--json] [--verbose] [--family NAMES]`` —
+    run the project-aware static analyzer over ``src/repro`` and exit 1
+    on any finding not covered by the committed baseline."""
+    from .staticcheck import main as staticcheck_main
+    return staticcheck_main(args, echo=shell.echo)
+
+
 SUBCOMMANDS = {
     "cache-stats": _cmd_cache_stats,
     "check": _cmd_check,
@@ -607,6 +626,7 @@ SUBCOMMANDS = {
     "metrics": _cmd_metrics,
     "quarantine": _cmd_quarantine,
     "serve": _cmd_serve,
+    "staticcheck": _cmd_staticcheck,
     "trace": _cmd_trace,
 }
 

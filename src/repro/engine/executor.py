@@ -617,7 +617,10 @@ class _PlanRun:
             on_row=lambda: self.stats.charge(per_row),
             empty_base=binding,
         )
+        check = self._token.check if self._token is not None else None
         for row in output:
+            if check is not None:
+                check()
             self.stats.charge(cm.pipeline_row)
             self._count(plan)
             yield row
@@ -628,7 +631,10 @@ class _PlanRun:
         self.stats.charge(len(rows) * cm.window_row * len(plan.windows))
         for window in plan.windows:
             compute_window(window, rows, self._compiler, _sort_key)
+        check = self._token.check if self._token is not None else None
         for row in rows:
+            if check is not None:
+                check()
             self._count(plan)
             yield row
 
@@ -666,7 +672,10 @@ class _PlanRun:
                 key=lambda row, fn=fn, d=item.descending: _sort_key(fn(row), d),
                 reverse=item.descending,
             )
+        check = self._token.check if self._token is not None else None
         for row in rows:
+            if check is not None:
+                check()
             self._count(plan)
             yield row
 
@@ -683,6 +692,7 @@ class _PlanRun:
 
     def _run_setop(self, plan: SetOp, binding: Row) -> Iterator[Row]:
         cm = self._cm
+        check = self._token.check if self._token is not None else None
 
         def branch_tuples(branch: Plan) -> list[tuple]:
             return [self.output_tuple(r) for r in self.rows(branch, binding)]
@@ -696,6 +706,8 @@ class _PlanRun:
         if plan.op == "UNION ALL":
             for branch in plan.branches:
                 for values in branch_tuples(branch):
+                    if check is not None:
+                        check()
                     self.stats.charge(cm.pipeline_row)
                     self._count(plan)
                     yield emit(values)
@@ -704,6 +716,8 @@ class _PlanRun:
             seen: set[tuple] = set()
             for branch in plan.branches:
                 for values in branch_tuples(branch):
+                    if check is not None:
+                        check()
                     self.stats.charge(cm.hash_row)
                     if values not in seen:
                         seen.add(values)
@@ -715,6 +729,8 @@ class _PlanRun:
         self.stats.charge(cm.hash_row * len(right_set))
         seen = set()
         for values in branch_tuples(left):
+            if check is not None:
+                check()
             self.stats.charge(cm.hash_row)
             if values in seen:
                 continue

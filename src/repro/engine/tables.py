@@ -260,24 +260,24 @@ class TableData:
 
     @property
     def rows(self) -> list[dict]:
-        return self._current.rows
+        return self._current.rows  # staticcheck: ignore[lock.discipline] atomic read of the copy-on-write version reference
 
     @property
     def indexes(self) -> dict[str, IndexData]:
-        return self._current.indexes
+        return self._current.indexes  # staticcheck: ignore[lock.discipline] atomic read of the copy-on-write version reference
 
     @property
     def version(self) -> int:
         """Data version, bumped by every committed write."""
-        return self._current.version
+        return self._current.version  # staticcheck: ignore[lock.discipline] atomic read of the copy-on-write version reference
 
     @property
     def row_count(self) -> int:
-        return len(self._current.rows)
+        return len(self._current.rows)  # staticcheck: ignore[lock.discipline] atomic read of the copy-on-write version reference
 
     def index_named(self, name: str) -> IndexData:
         try:
-            return self._current.indexes[name]
+            return self._current.indexes[name]  # staticcheck: ignore[lock.discipline] atomic read of the copy-on-write version reference
         except KeyError:
             raise ExecutionError(
                 f"no index {name!r} on table {self.table.name!r}"
@@ -286,11 +286,11 @@ class TableData:
     def columnar(self) -> dict[str, list]:
         """Columnar view of the current version (see
         :meth:`TableVersion.columnar`)."""
-        return self._current.columnar(self.table)
+        return self._current.columnar(self.table)  # staticcheck: ignore[lock.discipline] atomic read of the copy-on-write version reference
 
     def snapshot(self) -> TableSnapshot:
         """Pin the current committed version (one atomic read)."""
-        return TableSnapshot(self.table, self._current)
+        return TableSnapshot(self.table, self._current)  # staticcheck: ignore[lock.discipline] atomic read of the copy-on-write version reference
 
     # -- writes (copy-on-write, all-or-nothing) -----------------------------
 
@@ -399,12 +399,12 @@ class Storage:
 
     def get(self, name: str) -> TableData:
         try:
-            return self._tables[name.lower()]
+            return self._tables[name.lower()]  # staticcheck: ignore[lock.discipline] tables are registered once at DDL time; dict read is atomic
         except KeyError:
             raise ExecutionError(f"no data for table {name!r}") from None
 
     def has(self, name: str) -> bool:
-        return name.lower() in self._tables
+        return name.lower() in self._tables  # staticcheck: ignore[lock.discipline] tables are registered once at DDL time; dict read is atomic
 
     def tables(self) -> Sequence[TableData]:
         with self._lock:

@@ -39,8 +39,13 @@ from ..expressions import FunctionRegistry, agg_key, window_key
 from ...sql import ast
 
 
-class NotVectorizable(Exception):
-    """The expression cannot be compiled to a batch kernel."""
+class NotVectorizable(Exception):  # staticcheck: allow-raise
+    """The expression cannot be compiled to a batch kernel.
+
+    Internal control flow, never surfaced: every raise is caught by the
+    kernel compiler or the vector executor's row-engine bridge — hence
+    deliberately *not* a ReproError (a typed-error net must never cost
+    away or report what is simply "use the row engine here")."""
 
 
 #: literal types inlined into source as ``repr`` constants

@@ -29,6 +29,8 @@ import threading
 from collections import deque
 from typing import Callable, Optional
 
+from ..errors import VerificationError
+
 #: most recent samples kept per histogram for percentile estimation
 DEFAULT_RESERVOIR = 1024
 
@@ -49,7 +51,8 @@ class Counter:
 
     @property
     def value(self) -> int:
-        return self._value
+        with self._lock:
+            return self._value
 
     def reset(self) -> None:
         with self._lock:
@@ -136,7 +139,9 @@ class MetricsRegistry:
     # -- construction ------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
-        counter = self._counters.get(name)
+        # double-checked create-on-first-use: the unlocked dict probe is a
+        # GIL-atomic read and the hot path for every metered operation
+        counter = self._counters.get(name)  # staticcheck: ignore[lock.discipline] double-checked fast path; setdefault under lock arbitrates
         if counter is None:
             with self._lock:
                 counter = self._counters.setdefault(name, Counter(name))
@@ -145,7 +150,7 @@ class MetricsRegistry:
     def histogram(
         self, name: str, reservoir: int = DEFAULT_RESERVOIR
     ) -> Histogram:
-        histogram = self._histograms.get(name)
+        histogram = self._histograms.get(name)  # staticcheck: ignore[lock.discipline] double-checked fast path; setdefault under lock arbitrates
         if histogram is None:
             with self._lock:
                 histogram = self._histograms.setdefault(
@@ -180,6 +185,10 @@ class MetricsRegistry:
         for name, fn in sorted(collectors.items()):
             try:
                 out[name] = fn()
+            except VerificationError:
+                # an invariant violation must abort loudly, never be
+                # downgraded to an "error" row in a metrics snapshot
+                raise
             except Exception as exc:  # a broken collector must not take
                 out[name] = {"error": f"{type(exc).__name__}: {exc}"}
         return out

@@ -36,7 +36,7 @@ class CancelToken:
     #: idle path creates zero tokens)
     created = 0
 
-    def __init__(self, timeout: Optional[float] = None):
+    def __init__(self, timeout: Optional[float] = None) -> None:
         type(self).created += 1
         self._cancelled = threading.Event()
         self._deadline: Optional[float] = None

@@ -106,7 +106,7 @@ class FaultSpec:
 class FaultInjector:
     """Counts invocations per injection point and fires matching specs."""
 
-    def __init__(self, *specs: FaultSpec, stall_limit: float = 2.0):
+    def __init__(self, *specs: FaultSpec, stall_limit: float = 2.0) -> None:
         self.specs = list(specs)
         self.stall_limit = stall_limit
         self._lock = threading.Lock()

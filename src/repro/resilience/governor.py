@@ -67,7 +67,7 @@ class SearchGovernor:
         deadline_seconds: Optional[float] = None,
         max_cost_estimations: Optional[int] = None,
         token: Optional[CancelToken] = None,
-    ):
+    ) -> None:
         type(self).created += 1
         self._deadline = (
             time.monotonic() + deadline_seconds

@@ -30,7 +30,7 @@ class QuarantineRegistry:
         self,
         statement_threshold: int = 3,
         global_threshold: int = 12,
-    ):
+    ) -> None:
         if statement_threshold < 1 or global_threshold < 1:
             raise ValueError("quarantine thresholds must be >= 1")
         self.statement_threshold = statement_threshold
@@ -40,7 +40,15 @@ class QuarantineRegistry:
         self._by_statement: dict[tuple[str, str], int] = {}
         #: bumped on every reset; cached degraded plans are re-attempted
         #: at full CBQT when their recorded epoch is stale
-        self.epoch = 0
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Reset generation, read under the lock: a torn read racing
+        :meth:`reset` could misclassify a fresh fallback plan as stale
+        (or the reverse) in the plan cache's re-attempt check."""
+        with self._lock:
+            return self._epoch
 
     # -- recording ---------------------------------------------------------
 
@@ -58,7 +66,7 @@ class QuarantineRegistry:
         """Cheap lock-free gate for the optimize hot path: False until
         the first failure is ever recorded (dict truthiness is atomic),
         letting untroubled statements skip the per-name lookups."""
-        return bool(self._global) or bool(self._by_statement)
+        return bool(self._global) or bool(self._by_statement)  # staticcheck: ignore[lock.discipline] documented lock-free gate; dict truthiness is atomic
 
     def is_quarantined(self, transformation: str, signature: str) -> bool:
         """True when *transformation* must be skipped for this statement
@@ -86,7 +94,7 @@ class QuarantineRegistry:
                     k for k in self._by_statement if k[0] == transformation
                 ]:
                     del self._by_statement[key]
-            self.epoch += 1
+            self._epoch += 1
 
     # -- introspection -----------------------------------------------------
 
@@ -107,7 +115,7 @@ class QuarantineRegistry:
                 if count >= self.statement_threshold
             )
             return {
-                "epoch": self.epoch,
+                "epoch": self._epoch,
                 "failures": dict(sorted(self._global.items())),
                 "quarantined_global": globally_out,
                 "quarantined_statements": statement_out,

@@ -69,7 +69,7 @@ class AdmissionController:
     it in a ``finally``), so a statement that fails, times out, or is
     cancelled can never leak its slot."""
 
-    def __init__(self, config: ServerConfig):
+    def __init__(self, config: ServerConfig) -> None:
         self._config = config
         self._lock = threading.Lock()
         #: statements admitted and not yet finished (queued + running)

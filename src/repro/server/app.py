@@ -61,7 +61,7 @@ class ReproServer:
         database: Optional[Database] = None,
         service: Optional[QueryService] = None,
         config: Optional[ServerConfig] = None,
-    ):
+    ) -> None:
         if service is not None:
             self.service = service
             self.database = service.database
@@ -363,7 +363,7 @@ class ReproServer:
                 with session.lock:
                     session.active_token = item.token
                 item.future.set_result(item.fn(item.token))
-            except BaseException as exc:  # noqa: B036 - resolved via future
+            except BaseException as exc:  # noqa: B036 - resolved via future  # staticcheck: ignore[error.swallow] nothing swallowed: set_exception re-raises in the waiter
                 self._count("server.statement_errors")
                 item.future.set_exception(exc)
             finally:

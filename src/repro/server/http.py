@@ -30,6 +30,8 @@ engine's exception taxonomy rather than parse prose:
 :class:`AdmissionRejected`      429 (back off and retry)
 :class:`StatementTimeout`       408
 :class:`StatementCancelled`     409
+:class:`VerificationError`      500 (an engine invariant broke — a
+                                server bug, never the client's request)
 other :class:`ReproError`       400
 anything else                   500
 ==============================  ======
@@ -47,6 +49,7 @@ from ..errors import (
     SessionNotFound,
     StatementCancelled,
     StatementTimeout,
+    VerificationError,
 )
 from .admission import ServerConfig
 from .app import ReproServer
@@ -65,6 +68,9 @@ def _status_for(exc: BaseException) -> int:
         return 408
     if isinstance(exc, StatementCancelled):
         return 409
+    if isinstance(exc, VerificationError):
+        # an invariant violation is a server-side bug, not a bad request
+        return 500
     if isinstance(exc, ReproError):
         return 400
     return 500
@@ -78,7 +84,7 @@ class ReproHTTPServer(ThreadingHTTPServer):
     # thread forever between requests
     timeout = 60
 
-    def __init__(self, app: ReproServer, host: str, port: int):
+    def __init__(self, app: ReproServer, host: str, port: int) -> None:
         self.app = app
         super().__init__((host, port), RequestHandler)
 
@@ -91,7 +97,7 @@ class RequestHandler(BaseHTTPRequestHandler):
     #: logging; quiet by default so the load bench isn't I/O bound
     verbose = False
 
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         if self.verbose:
             super().log_message(format, *args)
 
@@ -128,6 +134,12 @@ class RequestHandler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         try:
             handled = self._route(method)
+        except VerificationError as exc:
+            # deliberate: reported as a 500 so one broken statement does
+            # not take the transport down, but never folded into the
+            # generic 400 typed-error path
+            self._error(exc)
+            return
         except Exception as exc:  # typed errors become status codes
             self._error(exc)
             return

@@ -25,7 +25,8 @@ import itertools
 import threading
 import time
 from collections import deque
-from typing import Optional
+from concurrent.futures import Future
+from typing import Callable, Optional
 
 from ..errors import SessionNotFound
 from ..resilience import CancelToken
@@ -42,7 +43,13 @@ class WorkItem:
 
     __slots__ = ("fn", "token", "future", "deadline")
 
-    def __init__(self, fn, token: CancelToken, future, deadline: Optional[float]):
+    def __init__(
+        self,
+        fn: Callable[[CancelToken], dict],
+        token: CancelToken,
+        future: "Future[dict]",
+        deadline: Optional[float],
+    ) -> None:
         #: callable(token) -> JSON-able payload, run on the worker
         self.fn = fn
         self.token = token
@@ -57,7 +64,7 @@ class Cursor:
 
     __slots__ = ("id", "columns", "rows", "position")
 
-    def __init__(self, columns: list, rows: list):
+    def __init__(self, columns: list, rows: list) -> None:
         self.id = f"c{next(_cursor_ids)}"
         self.columns = columns
         self.rows = rows
@@ -74,7 +81,7 @@ class ServerSession:
     """One connected client's server-side state."""
 
     def __init__(self, session: Session,
-                 statement_timeout: Optional[float] = None):
+                 statement_timeout: Optional[float] = None) -> None:
         self.id = f"s{next(_session_ids)}"
         #: the service-layer session (shared plan cache underneath)
         self.session = session
@@ -98,7 +105,7 @@ class ServerSession:
 
     def pending(self) -> int:
         """Statements admitted and not yet finished (caller holds lock)."""
-        return len(self.queue) + (1 if self.draining else 0)
+        return len(self.queue) + (1 if self.draining else 0)  # staticcheck: ignore[lock.discipline] documented caller-holds-lock helper
 
     def register_statement(self, prepared: PreparedStatement) -> str:
         statement_id = f"q{next(_statement_ids)}"
@@ -136,11 +143,16 @@ class ServerSession:
 class SessionRegistry:
     """Thread-safe id → :class:`ServerSession` map with idle reaping."""
 
-    def __init__(self, idle_timeout: float):
+    def __init__(self, idle_timeout: float) -> None:
         self._lock = threading.Lock()
         self._sessions: dict[str, ServerSession] = {}
         self.idle_timeout = idle_timeout
-        self.reaped_total = 0
+        self._reaped_total = 0
+
+    @property
+    def reaped_total(self) -> int:
+        with self._lock:
+            return self._reaped_total
 
     def add(self, session: ServerSession) -> None:
         with self._lock:
@@ -149,7 +161,11 @@ class SessionRegistry:
     def get(self, session_id: str) -> ServerSession:
         with self._lock:
             session = self._sessions.get(session_id)
-        if session is None or session.closed:
+        if session is None:
+            raise SessionNotFound(f"no session {session_id!r}")
+        with session.lock:
+            closed = session.closed
+        if closed:
             raise SessionNotFound(f"no session {session_id!r}")
         session.touch()
         return session
@@ -158,7 +174,10 @@ class SessionRegistry:
         with self._lock:
             session = self._sessions.pop(session_id, None)
         if session is not None:
-            session.closed = True
+            # under session.lock: the drain loop checks `closed` while
+            # holding it, and must never observe a half-removed session
+            with session.lock:
+                session.closed = True
         return session
 
     def ids(self) -> list[str]:
@@ -166,7 +185,8 @@ class SessionRegistry:
             return sorted(self._sessions)
 
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)
 
     def reap_idle(self, now: Optional[float] = None) -> list[str]:
         """Drop sessions idle past the timeout with no pending work.
@@ -189,5 +209,5 @@ class SessionRegistry:
         with self._lock:
             for session_id in reaped:
                 self._sessions.pop(session_id, None)
-            self.reaped_total += len(reaped)
+            self._reaped_total += len(reaped)
         return reaped

@@ -1,0 +1,39 @@
+"""Project-aware static analysis for the repro codebase.
+
+``repro.staticcheck`` is an AST-based (stdlib-only) analyzer that
+enforces the concurrency and robustness contracts the runtime layers
+rely on but cannot themselves check on every interleaving:
+
+* **lock discipline** — an attribute mutated under a class's lock
+  anywhere must never be touched outside that lock;
+* **lock order** — the inter-class lock acquisition graph must be
+  acyclic (static deadlock detection);
+* **cancellation / fault-point coverage** — every materialised row loop
+  in an executor polls the :class:`~repro.resilience.CancelToken`, and
+  every vector operator declares its ``executor.batch.<Op>`` fault
+  point;
+* **error taxonomy** — every project ``raise`` is a
+  :class:`~repro.errors.ReproError`, and no broad handler silently
+  swallows :class:`~repro.errors.VerificationError`;
+* **metrics / trace hygiene** — no counter registered but never
+  incremented, no trace event kind emitted but undocumented.
+
+Findings are reported as :class:`repro.analysis.Diagnostic` objects.
+Intentional violations are silenced inline
+(``# staticcheck: ignore[rule] reason``) or carried in the committed
+baseline file (``staticcheck-baseline.json``); anything else fails the
+run — and the CI gate.
+"""
+
+from .baseline import Baseline
+from .model import Project
+from .runner import Finding, StaticCheckReport, main, run_project
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "Project",
+    "StaticCheckReport",
+    "main",
+    "run_project",
+]

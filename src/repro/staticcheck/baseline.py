@@ -1,0 +1,75 @@
+"""Baseline file I/O.
+
+The baseline is a committed JSON file mapping finding fingerprints to a
+one-line justification.  A finding whose fingerprint appears in the
+baseline is *accepted debt* — reported, but it does not fail the run.
+Anything not in the baseline is new and fails; a baseline entry no
+fresh finding matches is *stale* and is reported so it can be deleted
+(the meta-test in ``tests/test_staticcheck.py`` keeps the file exact).
+
+Fingerprints exclude line numbers (see
+:mod:`repro.staticcheck.findings`), so the baseline survives unrelated
+edits to the same files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .findings import Finding
+
+_VERSION = 1
+
+
+class Baseline:
+    """The committed set of accepted findings."""
+
+    def __init__(self, entries: Optional[dict[str, str]] = None,
+                 path: Optional[Path] = None):
+        self.entries: dict[str, str] = dict(entries or {})
+        self.path = path
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        data = json.loads(path.read_text())
+        entries = data.get("findings", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"{path}: 'findings' must be an object")
+        return cls(entries={str(k): str(v) for k, v in entries.items()},
+                   path=path)
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[tuple[Finding, str]], list[str]]:
+        """Partition into (new, baselined-with-reason, stale-entries)."""
+        new: list[Finding] = []
+        accepted: list[tuple[Finding, str]] = []
+        matched: set[str] = set()
+        for finding in findings:
+            reason = self.entries.get(finding.fingerprint)
+            if reason is None:
+                new.append(finding)
+            else:
+                matched.add(finding.fingerprint)
+                accepted.append((finding, reason))
+        stale = sorted(set(self.entries) - matched)
+        return new, accepted, stale
+
+    def write(self, path: Path, findings: Iterable[Finding],
+              default_reason: str = "accepted pre-existing finding") -> None:
+        """Write a baseline accepting *findings*, preserving reasons
+        already recorded for fingerprints that are still firing."""
+        entries = {
+            f.fingerprint: self.entries.get(f.fingerprint, default_reason)
+            for f in findings
+        }
+        payload = {
+            "version": _VERSION,
+            "findings": dict(sorted(entries.items())),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n")

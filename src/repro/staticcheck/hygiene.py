@@ -1,0 +1,180 @@
+"""Metrics and trace hygiene rules.
+
+**metrics.unused** — a counter (histogram) name passed to
+``*.counter("…")`` (``*.histogram("…")``) registers the metric; if no
+site in the project ever increments (records) it — chained
+``.counter("x").inc()``, or through a local / ``self`` binding — the
+registration is dead weight that shows up in every snapshot as a
+permanently-zero series, which reads as "this path never runs" when the
+truth is "nobody wired the increment".
+
+**trace.undocumented** — every literal event kind passed to
+``*.emit("kind", …)`` must appear in the tracing module's docstring
+(the module that defines ``Tracer``), which is the documented event
+vocabulary consumers grep against.  Dynamic names are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .findings import Finding
+from .model import Project
+
+#: registration method -> the method that counts as "using" the metric
+_METRIC_KINDS = {"counter": "inc", "histogram": "record"}
+
+_DOC_NAME_RE = re.compile(r"``([A-Za-z_][\w.]*)``|(?<!`)`([A-Za-z_][\w.]*)`(?!`)")
+
+
+def _literal_arg(call: ast.Call) -> str | None:
+    if call.args and isinstance(call.args[0], ast.Constant) \
+            and isinstance(call.args[0].value, str):
+        return call.args[0].value
+    return None
+
+
+def _registration(call: ast.Call) -> tuple[str, str] | None:
+    """``X.counter("name")`` -> (kind, name)."""
+    if isinstance(call.func, ast.Attribute) \
+            and call.func.attr in _METRIC_KINDS:
+        name = _literal_arg(call)
+        if name is not None:
+            return call.func.attr, name
+    return None
+
+
+def _check_metrics(project: Project) -> list[Finding]:
+    registered: dict[tuple[str, str], tuple] = {}  # (kind, name) -> site
+    used: set[tuple[str, str]] = set()
+    #: local/attribute binding name -> metrics it may hold
+    bindings: dict[str, set[tuple[str, str]]] = {}
+
+    def bind_target(target: ast.expr, metric: tuple[str, str]) -> None:
+        if isinstance(target, ast.Name):
+            bindings.setdefault(target.id, set()).add(metric)
+        elif isinstance(target, ast.Attribute):
+            bindings.setdefault(target.attr, set()).add(metric)
+
+    for module, owner, func in project.iter_functions():
+        scope = f"{owner.name}.{func.name}" if owner else func.name
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            reg = _registration(node)
+            if reg is not None:
+                registered.setdefault(
+                    reg, (module, node.lineno, scope, func))
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            use_of = {kind for kind, use in _METRIC_KINDS.items()
+                      if use == node.func.attr}
+            if not use_of:
+                continue
+            target = node.func.value
+            if isinstance(target, ast.Call):
+                inner = _registration(target)
+                if inner is not None and inner[0] in use_of:
+                    used.add(inner)
+            elif isinstance(target, (ast.Name, ast.Attribute)):
+                key = target.id if isinstance(target, ast.Name) \
+                    else target.attr
+                for metric in bindings.get(key, set()):
+                    if metric[0] in use_of:
+                        used.add(metric)
+    # second pass: bindings may be created after (or in another module
+    # than) the .inc sites — collect them first, then re-scan uses
+    for module, owner, func in project.iter_functions():
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and isinstance(
+                    node.value, ast.Call):
+                reg = _registration(node.value)
+                if reg is not None:
+                    for target in node.targets:
+                        bind_target(target, reg)
+    for module, owner, func in project.iter_functions():
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            use_of = {kind for kind, use in _METRIC_KINDS.items()
+                      if use == node.func.attr}
+            target = node.func.value
+            if use_of and isinstance(target, (ast.Name, ast.Attribute)):
+                key = target.id if isinstance(target, ast.Name) \
+                    else target.attr
+                for metric in bindings.get(key, set()):
+                    if metric[0] in use_of:
+                        used.add(metric)
+
+    findings = []
+    rule = "metrics.unused"
+    for (kind, name), (module, lineno, scope, func) in sorted(
+            registered.items(), key=lambda kv: kv[0]):
+        if (kind, name) in used:
+            continue
+        if project.suppressed(module, lineno, rule, func):
+            continue
+        action = "incremented" if kind == "counter" else "recorded"
+        findings.append(Finding(
+            rule=rule,
+            message=(
+                f"{kind} {name!r} is registered but never {action} — "
+                f"a permanently-zero series in every snapshot"
+            ),
+            relpath=module.relpath,
+            lineno=lineno,
+            scope=scope,
+            detail=f"{kind}:{name}",
+        ))
+    return findings
+
+
+def _documented_kinds(project: Project) -> set[str] | None:
+    for info in project.all_classes:
+        if info.name == "Tracer":
+            doc = info.module.docstring()
+            kinds = set()
+            for match in _DOC_NAME_RE.finditer(doc):
+                kinds.add(match.group(1) or match.group(2))
+            return kinds
+    return None
+
+
+def _check_trace(project: Project) -> list[Finding]:
+    documented = _documented_kinds(project)
+    if documented is None:
+        return []
+    findings = []
+    rule = "trace.undocumented"
+    seen: set[str] = set()
+    for module, owner, func in project.iter_functions():
+        scope = f"{owner.name}.{func.name}" if owner else func.name
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "emit"):
+                continue
+            kind = _literal_arg(node)
+            if kind is None or kind in documented or kind in seen:
+                continue
+            if project.suppressed(module, node.lineno, rule, func):
+                continue
+            seen.add(kind)
+            findings.append(Finding(
+                rule=rule,
+                message=(
+                    f"trace event kind {kind!r} is emitted but not "
+                    f"documented in the tracing module docstring"
+                ),
+                relpath=module.relpath,
+                lineno=node.lineno,
+                scope=scope,
+                detail=f"kind:{kind}",
+            ))
+    return findings
+
+
+def check_hygiene(project: Project) -> list[Finding]:
+    return _check_metrics(project) + _check_trace(project)

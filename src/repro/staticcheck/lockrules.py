@@ -1,0 +1,447 @@
+"""Lock-discipline and lock-order rules.
+
+**lock.discipline** — two passes over every function in the project:
+
+1. *collect*: an attribute mutated while holding its owner's lock —
+   ``with self._lock: self.hits += 1`` in the class itself, or
+   cross-object ``with session.lock: session.closed = True`` anywhere —
+   marks that attribute as **guarded** by that lock.
+2. *flag*: any other access (read or write) to a guarded attribute that
+   is not under the same object's guarding lock is a finding.  Accesses
+   in the owning class's ``__init__`` (pre-publication) and on
+   function-local freshly-constructed objects are exempt.
+
+Object identity is tracked by light type inference
+(:meth:`FunctionTypes.resolve`): parameter annotations, ``self``,
+constructor assignments, ``dict[str, C]`` attribute annotations
+propagated through ``.values()`` / ``.get()`` / ``list(...)`` and
+``for`` targets.
+
+**lock.order** — while a lock is held, acquiring another lock (directly
+via a nested ``with``, or by calling a method that takes its own
+class's lock) adds an edge to the inter-class lock graph.  A cycle is a
+static deadlock and fails the run, as does re-acquiring a held
+non-reentrant ``Lock``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .findings import Finding
+from .model import ClassInfo, ModuleInfo, Project, TypeRef, UNKNOWN
+
+#: method names that mutate their receiver in place
+_MUTATORS = {
+    "append", "appendleft", "add", "clear", "discard", "extend",
+    "insert", "pop", "popleft", "remove", "setdefault", "update",
+    "move_to_end",
+}
+
+#: builtins that return their (container) argument's shape
+_PASSTHROUGH = {"list", "sorted", "tuple", "iter", "reversed", "set"}
+
+
+class FunctionTypes:
+    """Light flow-insensitive type environment for one function."""
+
+    def __init__(self, project: Project, owner: Optional[ClassInfo],
+                 func: ast.FunctionDef):
+        self.project = project
+        self.env: dict[str, TypeRef] = {}
+        self.fresh: set[str] = set()
+        if owner is not None:
+            self.env["self"] = TypeRef(scalar=owner.name)
+        for arg in [*func.args.posonlyargs, *func.args.args,
+                    *func.args.kwonlyargs]:
+            if arg.annotation is not None:
+                ref = project.type_from_annotation(arg.annotation)
+                if ref.known:
+                    self.env[arg.arg] = ref
+        # two passes so forward references through locals settle
+        for _ in range(2):
+            for node in ast.walk(func):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target = node.targets[0]
+                    if isinstance(target, ast.Name):
+                        ref = self.resolve(node.value)
+                        if ref.known:
+                            self.env[target.id] = ref
+                        if _is_constructor(node.value, project):
+                            self.fresh.add(target.id)
+                elif isinstance(node, ast.AnnAssign):
+                    if isinstance(node.target, ast.Name):
+                        ref = project.type_from_annotation(node.annotation)
+                        if ref.known:
+                            self.env[node.target.id] = ref
+                elif isinstance(node, (ast.For, ast.comprehension)):
+                    target = node.target
+                    if isinstance(target, ast.Name):
+                        elem = self.resolve(node.iter).elem
+                        if elem:
+                            self.env[target.id] = TypeRef(scalar=elem)
+
+    def resolve(self, expr: ast.expr) -> TypeRef:
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id, UNKNOWN)
+        if isinstance(expr, ast.Attribute):
+            base = self.resolve(expr.value)
+            if base.scalar:
+                info = self.project.class_named(base.scalar)
+                if info:
+                    return info.attr_types.get(expr.attr, UNKNOWN)
+            return UNKNOWN
+        if isinstance(expr, ast.Subscript):
+            base = self.resolve(expr.value)
+            return TypeRef(scalar=base.elem) if base.elem else UNKNOWN
+        if isinstance(expr, ast.IfExp):
+            body = self.resolve(expr.body)
+            return body if body.known else self.resolve(expr.orelse)
+        if isinstance(expr, ast.BoolOp) and expr.values:
+            return self.resolve(expr.values[0])
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name):
+                if func.id in self.project.classes:
+                    return TypeRef(scalar=func.id)
+                if func.id in _PASSTHROUGH and expr.args:
+                    return self.resolve(expr.args[0])
+            if isinstance(func, ast.Attribute):
+                if func.attr in self.project.classes:
+                    return TypeRef(scalar=func.attr)
+                base = self.resolve(func.value)
+                if func.attr in ("get", "pop") and base.elem:
+                    return TypeRef(scalar=base.elem)
+                if func.attr == "values" and base.elem:
+                    return TypeRef(elem=base.elem)
+                if func.attr == "copy":
+                    return base
+        return UNKNOWN
+
+
+def _is_constructor(expr: ast.expr, project: Project) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in project.classes
+    )
+
+
+def _key(expr: ast.expr) -> str:
+    """Identity key for 'same object' comparisons (textual)."""
+    return ast.dump(expr)
+
+
+#: one held lock: (class name, lock attr, object identity key)
+Held = tuple[str, str, str]
+
+
+class _LockWalker:
+    """Shared traversal: visits every node of a function with the set of
+    currently-held locks, resetting inside nested function bodies (a
+    closure's body does not inherit the definition site's locks)."""
+
+    def __init__(self, project: Project, types: FunctionTypes):
+        self.project = project
+        self.types = types
+
+    def acquisitions(self, node: ast.With) -> list[Held]:
+        found = []
+        for item in node.items:
+            expr = item.context_expr
+            if not isinstance(expr, ast.Attribute):
+                continue
+            owner = self.types.resolve(expr.value)
+            if not owner.scalar:
+                continue
+            info = self.project.class_named(owner.scalar)
+            if info and expr.attr in info.lock_attrs:
+                found.append((owner.scalar, expr.attr, _key(expr.value)))
+        return found
+
+    def walk(self, body: list[ast.stmt], held: tuple[Held, ...]):
+        for stmt in body:
+            yield from self._walk_node(stmt, held)
+
+    def _walk_node(self, node: ast.AST, held: tuple[Held, ...]):
+        yield node, held
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for child in body:
+                yield from self._walk_node(child, ())
+            return
+        if isinstance(node, ast.With):
+            acquired = self.acquisitions(node)
+            for item in node.items:
+                yield from self._walk_node(item.context_expr, held)
+            inner = held + tuple(a for a in acquired if a not in held)
+            for child in node.body:
+                yield from self._walk_node(child, inner)
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk_node(child, held)
+
+
+def _mutations(node: ast.AST):
+    """Yield ``(object expr, attr)`` for attribute mutations in *node*
+    itself (not recursive): assignments, augmented assignments, item
+    stores, deletes, and in-place mutator calls on an attribute."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr in _MUTATORS
+                and isinstance(func.value, ast.Attribute)):
+            yield func.value.value, func.value.attr
+        return
+    for target in targets:
+        for t in _flatten_targets(target):
+            if isinstance(t, ast.Attribute):
+                yield t.value, t.attr
+            elif isinstance(t, ast.Subscript) and isinstance(
+                    t.value, ast.Attribute):
+                yield t.value.value, t.value.attr
+
+
+def _flatten_targets(target: ast.expr):
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _flatten_targets(elt)
+    else:
+        yield target
+
+
+class LockAnalysis:
+    """Runs both lock rules over a project."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        #: class -> attr -> guarding lock attr
+        self.guarded: dict[str, dict[str, str]] = {}
+        #: (class, method) -> own lock attrs acquired directly
+        self.method_acquires: dict[tuple[str, str], set[str]] = {}
+        self._types_cache: dict[int, FunctionTypes] = {}
+
+    def _types(self, owner: Optional[ClassInfo],
+               func: ast.FunctionDef) -> FunctionTypes:
+        key = id(func)
+        if key not in self._types_cache:
+            self._types_cache[key] = FunctionTypes(self.project, owner, func)
+        return self._types_cache[key]
+
+    def run(self) -> list[Finding]:
+        self._collect()
+        findings = self._flag_discipline()
+        findings.extend(self._check_order())
+        return findings
+
+    # -- pass 1: which attributes are lock-guarded? --------------------------
+
+    def _collect(self) -> None:
+        for _module, owner, func in self.project.iter_functions():
+            types = self._types(owner, func)
+            walker = _LockWalker(self.project, types)
+            for node, held in walker.walk(func.body, ()):
+                if not held:
+                    continue
+                for obj, attr in _mutations(node):
+                    ref = types.resolve(obj)
+                    if not ref.scalar:
+                        continue
+                    obj_key = _key(obj)
+                    for cls, lock_attr, held_key in held:
+                        if cls == ref.scalar and held_key == obj_key:
+                            self.guarded.setdefault(cls, {}).setdefault(
+                                attr, lock_attr)
+            if owner is not None:
+                acquired = {
+                    lock_attr
+                    for node, _ in walker.walk(func.body, ())
+                    if isinstance(node, ast.With)
+                    for cls, lock_attr, key in walker.acquisitions(node)
+                    if cls == owner.name and key == _key(
+                        ast.Name(id="self", ctx=ast.Load()))
+                }
+                if acquired:
+                    self.method_acquires[(owner.name, func.name)] = acquired
+
+    # -- pass 2: accesses outside the guarding lock --------------------------
+
+    def _flag_discipline(self) -> list[Finding]:
+        findings = []
+        rule = "lock.discipline"
+        for module, owner, func in self.project.iter_functions():
+            types = self._types(owner, func)
+            walker = _LockWalker(self.project, types)
+            in_own_init = owner is not None and func.name == "__init__"
+            scope = _scope_name(owner, func)
+            seen: set[tuple[str, str, str]] = set()
+            for node, held in walker.walk(func.body, ()):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                ref = types.resolve(node.value)
+                if not ref.scalar:
+                    continue
+                guard = self.guarded.get(ref.scalar, {}).get(node.attr)
+                if guard is None:
+                    continue
+                is_self = (isinstance(node.value, ast.Name)
+                           and node.value.id == "self")
+                if in_own_init and is_self and owner.name == ref.scalar:
+                    continue  # pre-publication
+                if (isinstance(node.value, ast.Name)
+                        and node.value.id in types.fresh):
+                    continue  # function-local fresh object
+                obj_key = _key(node.value)
+                if any(cls == ref.scalar and lock == guard
+                       and key == obj_key
+                       for cls, lock, key in held):
+                    continue
+                if self.project.suppressed(module, node.lineno, rule, func):
+                    continue
+                kind = ("write" if isinstance(node.ctx, (ast.Store, ast.Del))
+                        else "read")
+                detail = f"{kind}:{ref.scalar}.{node.attr}"
+                dedup = (scope, detail, "")
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                findings.append(Finding(
+                    rule=rule,
+                    message=(
+                        f"{kind} of {ref.scalar}.{node.attr} outside "
+                        f"`with <{ref.scalar}>.{guard}:` — attribute is "
+                        f"mutated under that lock elsewhere"
+                    ),
+                    relpath=module.relpath,
+                    lineno=node.lineno,
+                    scope=scope,
+                    detail=detail,
+                ))
+        return findings
+
+    # -- rule 2: lock-order graph -------------------------------------------
+
+    def _check_order(self) -> list[Finding]:
+        findings = []
+        rule = "lock.order"
+        #: (src, dst) -> (module, lineno, scope); nodes are "Class.lock"
+        edges: dict[tuple[str, str], tuple[ModuleInfo, int, str]] = {}
+        for module, owner, func in self.project.iter_functions():
+            types = self._types(owner, func)
+            walker = _LockWalker(self.project, types)
+            scope = _scope_name(owner, func)
+            for node, held in walker.walk(func.body, ()):
+                if not held:
+                    continue
+                acquired: list[tuple[str, str]] = []
+                if isinstance(node, ast.With):
+                    acquired = [(c, a)
+                                for c, a, _ in walker.acquisitions(node)]
+                elif isinstance(node, ast.Call) and isinstance(
+                        node.func, ast.Attribute):
+                    ref = types.resolve(node.func.value)
+                    if ref.scalar:
+                        own = self.method_acquires.get(
+                            (ref.scalar, node.func.attr), set())
+                        acquired = [(ref.scalar, a) for a in own]
+                for cls, lock_attr in acquired:
+                    dst = f"{cls}.{lock_attr}"
+                    for held_cls, held_attr, _ in held:
+                        src = f"{held_cls}.{held_attr}"
+                        if src == dst:
+                            info = self.project.class_named(cls)
+                            kind = (info.lock_attrs.get(lock_attr, "Lock")
+                                    if info else "Lock")
+                            if kind == "RLock":
+                                continue
+                            if self.project.suppressed(
+                                    module, node.lineno, rule, func):
+                                continue
+                            findings.append(Finding(
+                                rule=rule,
+                                message=(
+                                    f"re-acquires non-reentrant {dst} "
+                                    f"while already holding it"
+                                ),
+                                relpath=module.relpath,
+                                lineno=node.lineno,
+                                scope=scope,
+                                detail=f"reacquire:{dst}",
+                            ))
+                            continue
+                        if self.project.suppressed(
+                                module, node.lineno, rule, func):
+                            continue
+                        edges.setdefault(
+                            (src, dst), (module, node.lineno, scope))
+        findings.extend(self._find_cycles(edges))
+        return findings
+
+    def _find_cycles(
+        self,
+        edges: dict[tuple[str, str], tuple[ModuleInfo, int, str]],
+    ) -> list[Finding]:
+        graph: dict[str, list[str]] = {}
+        for src, dst in edges:
+            graph.setdefault(src, []).append(dst)
+            graph.setdefault(dst, [])
+        findings = []
+        reported: set[tuple[str, ...]] = set()
+        state: dict[str, int] = {}  # 0 in progress, 1 done
+        stack: list[str] = []
+
+        def visit(node: str) -> None:
+            state[node] = 0
+            stack.append(node)
+            for nxt in graph[node]:
+                if nxt not in state:
+                    visit(nxt)
+                elif state[nxt] == 0:
+                    cycle = stack[stack.index(nxt):] + [nxt]
+                    canon = _canonical_cycle(cycle[:-1])
+                    if canon in reported:
+                        continue
+                    reported.add(canon)
+                    path = "->".join(cycle)
+                    module, lineno, scope = edges[(node, nxt)]
+                    findings.append(Finding(
+                        rule="lock.order",
+                        message=(
+                            f"lock-order cycle (potential deadlock): {path}"
+                        ),
+                        relpath=module.relpath,
+                        lineno=lineno,
+                        scope=scope,
+                        detail=f"cycle:{'->'.join(canon)}",
+                    ))
+            stack.pop()
+            state[node] = 1
+
+        for node in sorted(graph):
+            if node not in state:
+                visit(node)
+        return findings
+
+
+def _canonical_cycle(nodes: list[str]) -> tuple[str, ...]:
+    """Rotate so the lexicographically smallest node leads."""
+    if not nodes:
+        return ()
+    pivot = nodes.index(min(nodes))
+    return tuple(nodes[pivot:] + nodes[:pivot])
+
+
+def _scope_name(owner: Optional[ClassInfo], func: ast.FunctionDef) -> str:
+    return f"{owner.name}.{func.name}" if owner else func.name
+
+
+def check_locks(project: Project) -> list[Finding]:
+    return LockAnalysis(project).run()

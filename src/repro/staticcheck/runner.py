@@ -1,0 +1,180 @@
+"""Rule registry, report assembly, and the command-line entry point.
+
+``python -m repro staticcheck`` (and the shell's ``.staticcheck`` meta
+command) run every rule family over ``src/repro`` and exit non-zero on
+any finding not covered by the committed baseline — the same contract
+the CI ``staticcheck`` job enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from .baseline import Baseline
+from .coverage import check_coverage
+from .findings import Finding
+from .hygiene import check_hygiene
+from .lockrules import check_locks
+from .model import Project
+from .taxonomy import check_taxonomy
+
+RULE_FAMILIES: dict[str, Callable[[Project], list[Finding]]] = {
+    "locks": check_locks,
+    "coverage": check_coverage,
+    "taxonomy": check_taxonomy,
+    "hygiene": check_hygiene,
+}
+
+
+@dataclass
+class StaticCheckReport:
+    """Everything one analyzer run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[tuple[Finding, str]] = field(default_factory=list)
+    stale: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def format(self, verbose: bool = False) -> str:
+        lines = []
+        for finding in self.new:
+            lines.append(finding.format())
+        if verbose:
+            for finding, reason in self.baselined:
+                lines.append(f"{finding.format()} [baselined: {reason}]")
+        for fingerprint in self.stale:
+            lines.append(
+                f"warning: stale baseline entry (no longer fires): "
+                f"{fingerprint}"
+            )
+        lines.append(
+            f"staticcheck: {len(self.findings)} finding(s) — "
+            f"{len(self.new)} new, {len(self.baselined)} baselined, "
+            f"{len(self.stale)} stale baseline entr"
+            f"{'y' if len(self.stale) == 1 else 'ies'}"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "ok": self.ok,
+            "new": [vars(f) for f in self.new],
+            "baselined": [
+                {**vars(f), "reason": reason}
+                for f, reason in self.baselined
+            ],
+            "stale": self.stale,
+        }, indent=2)
+
+
+def _default_package_root() -> Path:
+    return Path(__file__).resolve().parents[1]
+
+
+def _default_repo_root(package_root: Path) -> Path:
+    # <repo>/src/repro -> <repo>; fall back to the package itself
+    parent = package_root.parent
+    return parent.parent if parent.name == "src" else package_root
+
+
+def run_project(
+    root: Optional[Path] = None,
+    repo_root: Optional[Path] = None,
+    baseline: Optional[Baseline] = None,
+    families: Optional[list[str]] = None,
+) -> StaticCheckReport:
+    """Run the analyzer over the package at *root*."""
+    package_root = Path(root) if root else _default_package_root()
+    repo = Path(repo_root) if repo_root else _default_repo_root(package_root)
+    project = Project(package_root, repo_root=repo)
+    findings: list[Finding] = []
+    for name in (families or list(RULE_FAMILIES)):
+        findings.extend(RULE_FAMILIES[name](project))
+    findings.sort(key=lambda f: (f.relpath, f.lineno, f.rule, f.detail))
+    report = StaticCheckReport(findings=findings)
+    baseline = baseline or Baseline()
+    report.new, report.baselined, report.stale = baseline.split(findings)
+    if families is not None and set(families) != set(RULE_FAMILIES):
+        # a partial run cannot tell stale from not-executed
+        report.stale = []
+    return report
+
+
+USAGE = """\
+usage: repro staticcheck [--root DIR] [--baseline FILE] [--json]
+                         [--verbose] [--write-baseline]
+                         [--family NAME[,NAME...]]
+
+Project-aware static analysis over src/repro: lock discipline,
+lock-order (deadlock) cycles, cancellation/fault-point coverage,
+error-taxonomy, and metrics/trace hygiene.  Exits 1 on any finding not
+in the committed baseline.
+"""
+
+
+def main(argv: Optional[list[str]] = None,
+         echo: Callable[[str], None] = print) -> int:
+    argv = list(argv or [])
+    root: Optional[Path] = None
+    baseline_path: Optional[Path] = None
+    as_json = False
+    verbose = False
+    write = False
+    families: Optional[list[str]] = None
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg in ("-h", "--help"):
+            echo(USAGE)
+            return 0
+        if arg == "--json":
+            as_json = True
+        elif arg == "--verbose":
+            verbose = True
+        elif arg == "--write-baseline":
+            write = True
+        elif arg in ("--root", "--baseline", "--family"):
+            if i + 1 >= len(argv):
+                echo(f"error: {arg} expects a value")
+                return 2
+            value = argv[i + 1]
+            if arg == "--root":
+                root = Path(value)
+            elif arg == "--baseline":
+                baseline_path = Path(value)
+            else:
+                families = [f.strip() for f in value.split(",") if f.strip()]
+                unknown = set(families) - set(RULE_FAMILIES)
+                if unknown:
+                    echo(f"error: unknown rule families: "
+                         f"{', '.join(sorted(unknown))} "
+                         f"(known: {', '.join(RULE_FAMILIES)})")
+                    return 2
+            i += 1
+        else:
+            echo(f"error: unknown argument {arg!r}")
+            echo(USAGE)
+            return 2
+        i += 1
+
+    package_root = root or _default_package_root()
+    repo_root = _default_repo_root(package_root)
+    if baseline_path is None:
+        baseline_path = repo_root / "staticcheck-baseline.json"
+    baseline = Baseline.load(baseline_path)
+    report = run_project(package_root, repo_root, baseline,
+                         families=families)
+    if write:
+        baseline.write(baseline_path, report.findings)
+        echo(f"wrote {len(report.findings)} fingerprint(s) to "
+             f"{baseline_path}")
+        return 0
+    echo(report.to_json() if as_json else report.format(verbose=verbose))
+    return 0 if report.ok else 1

@@ -1,0 +1,157 @@
+"""Error-taxonomy rules.
+
+**error.taxonomy** — every ``raise`` of a project-defined exception must
+raise a :class:`~repro.errors.ReproError` subclass: the degradation
+ladder, the chaos suite, and the HTTP status mapping all dispatch on
+that hierarchy, so an untyped exception is a hole in the resilience
+contract.  Internal control-flow exceptions (e.g. ``NotVectorizable``)
+opt out with ``# staticcheck: allow-raise`` on the class definition;
+stdlib raises from an allowlist (``ValueError`` for bad arguments, …)
+are fine.  Dynamic raises (``raise spec.error(msg)``) are skipped.
+
+**error.swallow** — a broad handler (``except Exception``, ``except
+BaseException``, bare ``except``) must not silently swallow
+:class:`~repro.errors.VerificationError` (or ``KeyboardInterrupt`` for
+the BaseException forms): the body must re-raise, or an earlier
+``except`` clause in the same ``try`` must name the exception
+explicitly — converting it deliberately is fine, losing it is not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding
+from .model import Project
+
+#: stdlib exceptions a library may legitimately raise directly
+STDLIB_ALLOWED = frozenset({
+    "ValueError", "TypeError", "KeyError", "IndexError", "AttributeError",
+    "NotImplementedError", "RuntimeError", "StopIteration", "SystemExit",
+    "AssertionError", "OSError", "ImportError", "KeyboardInterrupt",
+    "TimeoutError",
+})
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _raised_name(node: ast.Raise, project: Project):
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise
+    called = isinstance(exc, ast.Call)
+    if called:
+        exc = exc.func
+    if not isinstance(exc, ast.Name):
+        return None  # dynamic / attribute raise — out of scope
+    if not called and exc.id not in project.classes \
+            and exc.id not in STDLIB_ALLOWED:
+        return None  # ``raise saved_exc`` — re-raise of a stored variable
+    return exc.id
+
+
+def _check_raises(project: Project) -> list[Finding]:
+    findings = []
+    rule = "error.taxonomy"
+    for module, owner, func in project.iter_functions():
+        scope = f"{owner.name}.{func.name}" if owner else func.name
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node, project)
+            if name is None:
+                continue
+            info = project.class_named(name)
+            if info is not None:
+                if info.allow_raise:
+                    continue
+                if project.is_subclass_of(name, "ReproError"):
+                    continue
+            elif name in STDLIB_ALLOWED:
+                continue
+            if project.suppressed(module, node.lineno, rule, func):
+                continue
+            origin = "project exception" if info else "exception"
+            findings.append(Finding(
+                rule=rule,
+                message=(
+                    f"raises {name} — {origin} outside the ReproError "
+                    f"hierarchy escapes the typed-error contract "
+                    f"(mark the class '# staticcheck: allow-raise' if it "
+                    f"is internal control flow)"
+                ),
+                relpath=module.relpath,
+                lineno=node.lineno,
+                scope=scope,
+                detail=f"raise:{name}",
+            ))
+    return findings
+
+
+def _handler_names(handler: ast.ExceptHandler) -> set[str]:
+    type_ = handler.type
+    if type_ is None:
+        return set()
+    elts = type_.elts if isinstance(type_, ast.Tuple) else [type_]
+    names = set()
+    for elt in elts:
+        if isinstance(elt, ast.Name):
+            names.add(elt.id)
+        elif isinstance(elt, ast.Attribute):
+            names.add(elt.attr)
+    return names
+
+
+def _has_bare_raise(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(node, ast.Raise) and node.exc is None
+        for node in ast.walk(handler)
+    )
+
+
+def _check_swallows(project: Project) -> list[Finding]:
+    findings = []
+    rule = "error.swallow"
+    for module, owner, func in project.iter_functions():
+        scope = f"{owner.name}.{func.name}" if owner else func.name
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Try):
+                continue
+            earlier: set[str] = set()
+            for handler in node.handlers:
+                names = _handler_names(handler)
+                is_bare = handler.type is None
+                broad = is_bare or (names & _BROAD)
+                if not broad:
+                    earlier |= names
+                    continue
+                catches_base = is_bare or "BaseException" in names
+                required = {"VerificationError"}
+                if catches_base:
+                    required.add("KeyboardInterrupt")
+                if _has_bare_raise(handler) or required <= earlier:
+                    earlier |= names
+                    continue
+                if project.suppressed(module, handler.lineno, rule, func):
+                    earlier |= names
+                    continue
+                label = "bare except" if is_bare else (
+                    f"except {'/'.join(sorted(names & _BROAD))}")
+                missing = ", ".join(sorted(required - earlier))
+                findings.append(Finding(
+                    rule=rule,
+                    message=(
+                        f"{label} swallows {missing} — re-raise in the "
+                        f"handler or catch those types explicitly first"
+                    ),
+                    relpath=module.relpath,
+                    lineno=handler.lineno,
+                    scope=scope,
+                    detail=f"swallow:{'bare' if is_bare else '-'.join(sorted(names & _BROAD))}",
+                ))
+                earlier |= names
+    return findings
+
+
+def check_taxonomy(project: Project) -> list[Finding]:
+    return _check_raises(project) + _check_swallows(project)

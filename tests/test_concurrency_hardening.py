@@ -1,0 +1,314 @@
+"""Regression tests for the concurrency defects surfaced by
+``python -m repro staticcheck`` (PR 8) and fixed in the same change:
+
+* executor row loops over **materialized** inputs (Sort, GroupBy,
+  WindowCompute, SetOp) now poll the statement's
+  :class:`~repro.resilience.CancelToken` per output row, so a cancel or
+  deadline lands mid-loop instead of only between operators;
+* ``Counter.value`` reads under the counter's lock (a torn read could
+  miss a concurrent increment on implementations without atomic ints);
+* ``SessionRegistry.get``/``remove``/``reap_idle`` keep the session's
+  ``closed`` flag under ``session.lock``, so a racing lookup never
+  resurrects a half-removed session;
+* ``MetricsRegistry.snapshot`` re-raises :class:`VerificationError`
+  from collectors instead of folding it into the broken-collector
+  error entry;
+* the HTTP transport maps :class:`VerificationError` to **500** (an
+  engine invariant broke — a server bug), never the generic 400;
+* ``QuarantineRegistry.epoch`` is read under the registry lock, and
+  ``reset()`` racing ``record_failure``/``is_quarantined`` keeps the
+  ledger consistent (the dedicated stress test below).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Database
+from repro.errors import (
+    SessionNotFound,
+    StatementCancelled,
+    VerificationError,
+)
+from repro.obs import MetricsRegistry
+from repro.resilience import CancelToken, QuarantineRegistry
+from repro.server import ReproServer, ServerConfig
+from repro.server.http import _status_for, make_http_server
+from repro.server.sessions import ServerSession, SessionRegistry
+
+N_ROWS = 240
+
+
+class TripwireToken(CancelToken):
+    """Cancels itself after a fixed number of ``check()`` polls — turns
+    "a cancel arrives mid-loop" into a deterministic event."""
+
+    def __init__(self, trip_after: int):
+        super().__init__()
+        self.trip_after = trip_after
+
+    def check(self) -> None:
+        if self.checks + 1 >= self.trip_after:
+            self.cancel()
+        super().check()
+
+
+@pytest.fixture(scope="module")
+def db() -> Database:
+    database = Database()
+    database.execute_ddl(
+        "CREATE TABLE t (id INT PRIMARY KEY, grp INT, v INT)"
+    )
+    database.insert("t", [
+        {"id": i, "grp": i % 5, "v": (i * 37) % N_ROWS}
+        for i in range(N_ROWS)
+    ])
+    database.analyze()
+    return database
+
+
+MATERIALIZED_LOOP_QUERIES = [
+    pytest.param("SELECT id, v FROM t ORDER BY v, id", id="sort"),
+    pytest.param(
+        "SELECT grp, COUNT(*), SUM(v) FROM t GROUP BY grp", id="groupby"
+    ),
+    pytest.param(
+        "SELECT id, SUM(v) OVER (PARTITION BY grp ORDER BY id) FROM t",
+        id="window",
+    ),
+    pytest.param("SELECT id FROM t UNION ALL SELECT v FROM t", id="union-all"),
+    pytest.param("SELECT grp FROM t UNION SELECT v FROM t", id="union"),
+    pytest.param(
+        "SELECT id FROM t INTERSECT SELECT v FROM t", id="intersect"
+    ),
+]
+
+
+class TestMaterializedLoopCancellation:
+    @pytest.mark.parametrize("sql", MATERIALIZED_LOOP_QUERIES)
+    def test_loops_poll_once_per_row(self, db, sql):
+        """The fixed operators poll the token at least once per input
+        row — the coverage the ``cancel.poll`` rule now enforces."""
+        token = CancelToken()
+        result = db.execute(sql, token=token, executor="row")
+        assert result.rows  # sanity: the query actually ran
+        assert token.checks >= N_ROWS
+
+    @pytest.mark.parametrize("sql", MATERIALIZED_LOOP_QUERIES)
+    def test_cancel_lands_mid_loop(self, db, sql):
+        """A token tripping halfway through the row budget aborts the
+        statement with the typed error, not after the loop finishes."""
+        baseline = CancelToken()
+        db.execute(sql, token=baseline, executor="row")
+        token = TripwireToken(trip_after=baseline.checks // 2)
+        with pytest.raises(StatementCancelled):
+            db.execute(sql, token=token, executor="row")
+        # the loop stopped polling (and working) once the trip fired:
+        # well before the uncancelled run's total
+        assert token.checks < baseline.checks
+
+
+class TestCounterValueRead:
+    def test_value_reads_are_locked_and_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hardening.test")
+        stop = threading.Event()
+        seen: list[int] = []
+
+        def reader():
+            while not stop.is_set():
+                seen.append(counter.value)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for _ in range(20_000):
+            counter.inc()
+        stop.set()
+        thread.join(timeout=30)
+        assert counter.value == 20_000
+        assert seen == sorted(seen)  # monotone: no torn/stale regressions
+
+
+class TestSessionClosedFlagRace:
+    def _registry(self) -> tuple[SessionRegistry, ServerSession]:
+        registry = SessionRegistry(idle_timeout=3600.0)
+        session = ServerSession(session=None)
+        registry.add(session)
+        return registry, session
+
+    def test_get_after_remove_raises(self):
+        registry, session = self._registry()
+        assert registry.get(session.id) is session
+        registry.remove(session.id)
+        assert session.closed
+        with pytest.raises(SessionNotFound):
+            registry.get(session.id)
+
+    def test_lookup_racing_remove_never_resurrects(self):
+        """N getters racing one remove: every get() either returns the
+        live session or raises SessionNotFound — nothing else."""
+        for _ in range(40):
+            registry, session = self._registry()
+            barrier = threading.Barrier(5)
+            outcomes: list[object] = []
+
+            def lookup():
+                barrier.wait()
+                try:
+                    outcomes.append(registry.get(session.id))
+                except SessionNotFound:
+                    outcomes.append("gone")
+
+            def remove():
+                barrier.wait()
+                registry.remove(session.id)
+
+            threads = [threading.Thread(target=lookup) for _ in range(4)]
+            threads.append(threading.Thread(target=remove))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert all(o is session or o == "gone" for o in outcomes)
+            # after the dust settles the session is definitively gone
+            with pytest.raises(SessionNotFound):
+                registry.get(session.id)
+
+    def test_reap_bumps_total_under_lock(self):
+        registry, session = self._registry()
+        session.last_used = -10_000.0
+        assert registry.reap_idle(now=0.0) == [session.id]
+        assert registry.reaped_total == 1
+        assert session.closed
+
+
+class TestSnapshotErrorTaxonomy:
+    def test_broken_collector_is_contained(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            "bad", lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+        )
+        snap = registry.snapshot()
+        assert "boom" in str(snap["bad"]["error"])
+
+    def test_verification_error_propagates(self):
+        """An invariant violation must never be reduced to a metrics
+        footnote — snapshot() re-raises it."""
+        registry = MetricsRegistry()
+
+        def collector() -> dict:
+            raise VerificationError("invariant broke")
+
+        registry.register_collector("paranoid", collector)
+        with pytest.raises(VerificationError):
+            registry.snapshot()
+
+
+class TestVerificationErrorOverHttp:
+    def test_status_mapping(self):
+        assert _status_for(VerificationError("broke")) == 500
+
+    def test_verification_error_is_500_not_400(self):
+        database = Database()
+        app = ReproServer(database=database, config=ServerConfig())
+        server = make_http_server(app, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            def broken(session_id, sql, binds=None):
+                raise VerificationError("plan invariant violated")
+
+            app.explain = broken
+            request = urllib.request.Request(
+                f"http://{host}:{port}/sessions",
+                data=b"{}", method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                session_id = json.loads(response.read())["session_id"]
+            request = urllib.request.Request(
+                f"http://{host}:{port}/sessions/{session_id}/explain",
+                data=json.dumps({"sql": "SELECT 1"}).encode(),
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=60)
+            assert excinfo.value.code == 500
+            payload = json.loads(excinfo.value.read())
+            assert payload["error"]["type"] == "VerificationError"
+        finally:
+            server.shutdown()
+            server.server_close()
+            app.close()
+
+
+class TestQuarantineResetStress:
+    """Satellite: ``reset()`` racing ``record_failure``/``is_quarantined``
+    (the epoch-read race is exactly what the analyzer flagged in the
+    service's stale-plan re-attempt check)."""
+
+    def test_reset_races_recording(self):
+        registry = QuarantineRegistry(
+            statement_threshold=2, global_threshold=10**9
+        )
+        names = [f"tf{i}" for i in range(4)]
+        resets = 200
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(6)
+        done = threading.Event()
+
+        def record(worker: int):
+            barrier.wait()
+            try:
+                k = 0
+                while not done.is_set():
+                    name = names[k % len(names)]
+                    registry.record_failure(name, f"stmt-{worker}")
+                    registry.is_quarantined(name, f"stmt-{worker}")
+                    registry.dirty()
+                    k += 1
+            except BaseException as exc:  # noqa: B036 - re-raised via list
+                errors.append(exc)
+
+        def reset():
+            barrier.wait()
+            try:
+                for k in range(resets):
+                    epoch_before = registry.epoch
+                    if k % 3 == 0:
+                        registry.reset()
+                    else:
+                        registry.reset(names[k % len(names)])
+                    assert registry.epoch > epoch_before
+                    registry.snapshot()
+            except BaseException as exc:  # noqa: B036 - re-raised via list
+                errors.append(exc)
+            finally:
+                done.set()
+
+        threads = [
+            threading.Thread(target=record, args=(i,)) for i in range(5)
+        ]
+        threads.append(threading.Thread(target=reset))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        # every reset bumped the epoch exactly once, none were lost
+        assert registry.epoch == resets
+        snap = registry.snapshot()
+        assert snap["epoch"] == resets
+        # ledger still internally consistent: a full reset drains it
+        registry.reset()
+        assert registry.epoch == resets + 1
+        assert not registry.snapshot()["failures"]
+        for name in names:
+            assert registry.failures(name) == 0

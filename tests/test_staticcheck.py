@@ -1,0 +1,555 @@
+"""Tests for :mod:`repro.staticcheck` — the project-aware static
+analyzer wired into CI.
+
+Each rule family gets a pair of fixture packages (one that must fire,
+one that must stay silent), written to a temp directory and analyzed
+with :func:`run_project`.  On top of that: suppression-comment
+mechanics, baseline round-trips through the CLI (seeded violation →
+exit 1, ``--write-baseline`` → exit 0, stale-entry warning), and the
+meta-test that keeps the **committed** repo baseline honest — a fresh
+run over ``src/repro`` must produce no new findings and no stale
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.staticcheck import Baseline, run_project
+from repro.staticcheck.runner import RULE_FAMILIES, main
+
+
+def write_pkg(tmp_path: Path, sources: dict[str, str]) -> Path:
+    pkg = tmp_path / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    for name, source in sources.items():
+        (pkg / name).write_text(textwrap.dedent(source))
+    return pkg
+
+
+def check(tmp_path: Path, sources: dict[str, str], families=None):
+    pkg = write_pkg(tmp_path, sources)
+    report = run_project(pkg, tmp_path, Baseline(), families=families)
+    return report.findings
+
+
+def rules_of(findings) -> list[str]:
+    return [f.rule for f in findings]
+
+
+# -- lock discipline ---------------------------------------------------------
+
+
+LEDGER = """\
+    import threading
+
+    class Ledger:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.count = 0
+
+        def bump(self):
+            with self._lock:
+                self.count += 1
+
+        def peek(self):
+            return self.count
+"""
+
+
+class TestLockDiscipline:
+    def test_unlocked_read_of_guarded_attr_fires(self, tmp_path):
+        findings = check(tmp_path, {"ledger.py": LEDGER})
+        assert rules_of(findings) == ["lock.discipline"]
+        finding = findings[0]
+        assert finding.scope == "Ledger.peek"
+        assert "count" in finding.message
+        assert finding.relpath.endswith("pkg/ledger.py")
+
+    def test_locked_read_is_silent(self, tmp_path):
+        fixed = LEDGER.replace(
+            "def peek(self):\n            return self.count",
+            "def peek(self):\n"
+            "            with self._lock:\n"
+            "                return self.count",
+        )
+        assert fixed != LEDGER
+        assert check(tmp_path, {"ledger.py": fixed}) == []
+
+    def test_cross_object_access_is_tracked_by_type(self, tmp_path):
+        """The analyzer follows annotated attributes/params: mutating a
+        *Ledger's* guarded attr from another module still fires."""
+        other = """\
+            from .ledger import Ledger
+
+            class Keeper:
+                def __init__(self, ledger: Ledger):
+                    self.ledger = ledger
+
+                def poke(self):
+                    self.ledger.count = 0
+        """
+        findings = check(tmp_path, {"ledger.py": LEDGER, "keeper.py": other})
+        scopes = {f.scope for f in findings}
+        assert "Keeper.poke" in scopes
+        assert all(f.rule == "lock.discipline" for f in findings)
+
+    def test_suppression_comment_silences_one_rule(self, tmp_path):
+        suppressed = LEDGER.replace(
+            "        return self.count",
+            "        return self.count"
+            "  # staticcheck: ignore[lock.discipline] atomic int read",
+        )
+        assert check(tmp_path, {"ledger.py": suppressed}) == []
+
+    def test_wrong_rule_suppression_does_not_silence(self, tmp_path):
+        suppressed = LEDGER.replace(
+            "        return self.count",
+            "        return self.count"
+            "  # staticcheck: ignore[cancel.poll] wrong rule",
+        )
+        assert rules_of(check(tmp_path, {"ledger.py": suppressed})) \
+            == ["lock.discipline"]
+
+
+# -- lock order --------------------------------------------------------------
+
+
+class TestLockOrder:
+    def test_inverted_acquisition_order_is_a_cycle(self, tmp_path):
+        source = """\
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def backward(self):
+                    with self._b:
+                        with self._a:
+                            pass
+        """
+        findings = check(tmp_path, {"pair.py": source})
+        assert "lock.order" in rules_of(findings)
+        assert any("cycle" in f.message.lower() for f in findings)
+
+    def test_consistent_order_is_silent(self, tmp_path):
+        source = """\
+            import threading
+
+            class Pair:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def also_forward(self):
+                    with self._a:
+                        with self._b:
+                            pass
+        """
+        assert check(tmp_path, {"pair.py": source}) == []
+
+    def test_plain_lock_self_reacquire_fires(self, tmp_path):
+        source = """\
+            import threading
+
+            class Once:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def deadlock(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+        """
+        findings = check(tmp_path, {"once.py": source})
+        assert "lock.order" in rules_of(findings)
+
+    def test_rlock_self_reacquire_is_exempt(self, tmp_path):
+        source = """\
+            import threading
+
+            class Reentrant:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def nested(self):
+                    with self._lock:
+                        with self._lock:
+                            pass
+        """
+        assert check(tmp_path, {"reentrant.py": source}) == []
+
+
+# -- cancellation / fault-point coverage -------------------------------------
+
+
+class TestCancelPoll:
+    def test_materialised_loop_without_poll_fires(self, tmp_path):
+        source = """\
+            class Run:
+                def _run_sort(self, rows):
+                    out = []
+                    for row in rows:
+                        out.append(row)
+                    return out
+        """
+        findings = check(tmp_path, {"run.py": source})
+        assert rules_of(findings) == ["cancel.poll"]
+        assert findings[0].scope == "Run._run_sort"
+
+    def test_loop_with_poll_is_silent(self, tmp_path):
+        source = """\
+            class Run:
+                def _run_sort(self, rows):
+                    out = []
+                    for row in rows:
+                        self._token.check()
+                        out.append(row)
+                    return out
+        """
+        assert check(tmp_path, {"run.py": source}) == []
+
+    def test_pipelined_and_metadata_loops_are_exempt(self, tmp_path):
+        source = """\
+            class Run:
+                def _run_scan(self, child):
+                    for row in self.rows(child):
+                        yield row
+
+                def _run_meta(self, plan):
+                    for branch in plan.branches:
+                        pass
+                    for i in range(3):
+                        pass
+        """
+        assert check(tmp_path, {"run.py": source}) == []
+
+
+class TestFaultPoints:
+    BAD = """\
+        VECTOR_OPERATORS = frozenset({"Scan", "Filter"})
+        BATCH_OPERATORS = ("Scan", "Old")
+
+        class Vec:
+            def _vec_scan(self, batch):
+                return batch
+
+            def _vec_extra(self, batch):
+                return batch
+    """
+
+    def test_contract_drift_fires_every_direction(self, tmp_path):
+        findings = check(tmp_path, {"vec.py": self.BAD})
+        details = {f.detail for f in findings}
+        assert details == {
+            "missing-method:Filter",       # declared, not implemented
+            "undeclared:_vec_extra",       # implemented, not declared
+            "missing-fault-point:Filter",  # declared, no batch fault point
+            "stale-fault-point:Old",       # batch entry matches nothing
+            "no-batch-control-point",      # module never meters batches
+        }
+        assert all(f.rule == "fault.point" for f in findings)
+
+    def test_closed_contract_is_silent(self, tmp_path):
+        source = """\
+            VECTOR_OPERATORS = frozenset({"Scan"})
+            BATCH_OPERATORS = ("Scan",)
+            POINT = "executor.batch.{}"
+
+            class Vec:
+                def _vec_scan(self, batch):
+                    return batch
+        """
+        assert check(tmp_path, {"vec.py": source}) == []
+
+
+# -- error taxonomy ----------------------------------------------------------
+
+
+class TestErrorTaxonomy:
+    def test_only_the_rogue_exception_fires(self, tmp_path):
+        source = """\
+            class ReproError(Exception):
+                pass
+
+            class GoodError(ReproError):
+                pass
+
+            class RogueError(Exception):
+                pass
+
+            class Internal(Exception):  # staticcheck: allow-raise
+                pass
+
+            def typed():
+                raise GoodError("x")
+
+            def stdlib():
+                raise ValueError("x")
+
+            def control_flow():
+                raise Internal()
+
+            def reraise_stored(saved):
+                raise saved
+
+            def rogue():
+                raise RogueError("x")
+        """
+        findings = check(tmp_path, {"errs.py": source})
+        assert [(f.rule, f.scope) for f in findings] \
+            == [("error.taxonomy", "rogue")]
+        assert "RogueError" in findings[0].message
+
+    def test_swallow_rules(self, tmp_path):
+        source = """\
+            def bad(work):
+                try:
+                    work()
+                except Exception:
+                    return None
+
+            def ok_reraise(work):
+                try:
+                    work()
+                except Exception:
+                    raise
+
+            def ok_explicit(work, VerificationError):
+                try:
+                    work()
+                except VerificationError:
+                    raise
+                except Exception:
+                    return None
+
+            def bad_base(work, VerificationError):
+                try:
+                    work()
+                except VerificationError:
+                    raise
+                except BaseException:
+                    pass
+        """
+        findings = check(tmp_path, {"swallow.py": source})
+        assert [(f.rule, f.scope) for f in findings] == [
+            ("error.swallow", "bad"),
+            ("error.swallow", "bad_base"),
+        ]
+        # the BaseException form additionally demands KeyboardInterrupt
+        assert "KeyboardInterrupt" in findings[1].message
+
+
+# -- metrics / trace hygiene -------------------------------------------------
+
+
+class TestHygiene:
+    def test_registered_but_never_incremented_fires(self, tmp_path):
+        source = """\
+            class App:
+                def setup(self, registry):
+                    self.hits = registry.counter("app.hits")
+                    registry.counter("app.misses")
+                    registry.histogram("app.latency")
+                    registry.counter("app.direct").inc()
+
+                def use(self):
+                    self.hits.inc()
+        """
+        findings = check(tmp_path, {"app.py": source})
+        assert {f.detail for f in findings} \
+            == {"counter:app.misses", "histogram:app.latency"}
+        assert all(f.rule == "metrics.unused" for f in findings)
+
+    def test_binding_used_in_another_method_counts(self, tmp_path):
+        source = """\
+            class App:
+                def setup(self, registry):
+                    self.lat = registry.histogram("app.latency")
+
+                def observe(self, seconds):
+                    self.lat.record(seconds)
+        """
+        assert check(tmp_path, {"app.py": source}) == []
+
+    def test_undocumented_trace_kind_fires(self, tmp_path):
+        source = '''\
+            """Tracing.
+
+            Event kinds: ``parse`` and ``optimize``.
+            """
+
+            class Tracer:
+                def emit(self, kind, **data):
+                    pass
+
+            def usage(tracer):
+                tracer.emit("parse")
+                tracer.emit("rogue")
+        '''
+        findings = check(tmp_path, {"trace.py": source})
+        assert [f.detail for f in findings] == ["kind:rogue"]
+        assert findings[0].rule == "trace.undocumented"
+
+    def test_no_tracer_class_means_rule_is_inactive(self, tmp_path):
+        source = """\
+            def usage(tracer):
+                tracer.emit("anything")
+        """
+        assert check(tmp_path, {"trace.py": source}) == []
+
+
+# -- family selection --------------------------------------------------------
+
+
+class TestFamilies:
+    def test_family_filter_runs_only_that_family(self, tmp_path):
+        sources = {
+            "ledger.py": LEDGER,
+            "run.py": """\
+                class Run:
+                    def _run_x(self, rows):
+                        for row in rows:
+                            pass
+            """,
+        }
+        assert rules_of(check(tmp_path, sources, families=["locks"])) \
+            == ["lock.discipline"]
+        assert rules_of(check(tmp_path, sources, families=["coverage"])) \
+            == ["cancel.poll"]
+        assert set(RULE_FAMILIES) == {
+            "locks", "coverage", "taxonomy", "hygiene"
+        }
+
+
+# -- baseline & CLI ----------------------------------------------------------
+
+
+class TestBaselineAndCli:
+    def _cli(self, *argv) -> tuple[int, str]:
+        lines: list[str] = []
+        code = main(list(argv), echo=lines.append)
+        return code, "\n".join(lines)
+
+    def test_seeded_violation_fails_then_baseline_passes(self, tmp_path):
+        pkg = write_pkg(tmp_path, {"ledger.py": LEDGER})
+        baseline = tmp_path / "baseline.json"
+
+        code, out = self._cli("--root", str(pkg), "--baseline", str(baseline))
+        assert code == 1
+        assert "lock.discipline" in out and "1 new" in out
+
+        code, out = self._cli("--root", str(pkg), "--baseline", str(baseline),
+                              "--write-baseline")
+        assert code == 0
+        data = json.loads(baseline.read_text())
+        assert data["version"] == 1 and len(data["findings"]) == 1
+
+        code, out = self._cli("--root", str(pkg), "--baseline", str(baseline))
+        assert code == 0
+        assert "0 new, 1 baselined" in out
+
+    def test_baseline_reasons_survive_rewrite(self, tmp_path):
+        pkg = write_pkg(tmp_path, {"ledger.py": LEDGER})
+        baseline = tmp_path / "baseline.json"
+        self._cli("--root", str(pkg), "--baseline", str(baseline),
+                  "--write-baseline")
+        data = json.loads(baseline.read_text())
+        fingerprint = next(iter(data["findings"]))
+        data["findings"][fingerprint] = "benign: documented reason"
+        baseline.write_text(json.dumps(data))
+        self._cli("--root", str(pkg), "--baseline", str(baseline),
+                  "--write-baseline")
+        data = json.loads(baseline.read_text())
+        assert data["findings"][fingerprint] == "benign: documented reason"
+
+    def test_stale_entry_warns_but_passes(self, tmp_path):
+        pkg = write_pkg(tmp_path, {"ledger.py": LEDGER})
+        baseline = tmp_path / "baseline.json"
+        self._cli("--root", str(pkg), "--baseline", str(baseline),
+                  "--write-baseline")
+        fixed = LEDGER.replace(
+            "def peek(self):\n            return self.count",
+            "def peek(self):\n"
+            "            with self._lock:\n"
+            "                return self.count",
+        )
+        assert fixed != LEDGER
+        write_pkg(tmp_path, {"ledger.py": fixed})
+        code, out = self._cli("--root", str(pkg), "--baseline", str(baseline))
+        assert code == 0
+        assert "stale baseline entry" in out
+
+    def test_fingerprints_are_line_number_independent(self, tmp_path):
+        """Moving code (adding lines above) must not invalidate the
+        baseline — fingerprints carry scope+detail, not line numbers."""
+        pkg = write_pkg(tmp_path, {"ledger.py": LEDGER})
+        baseline = tmp_path / "baseline.json"
+        self._cli("--root", str(pkg), "--baseline", str(baseline),
+                  "--write-baseline")
+        write_pkg(tmp_path, {"ledger.py": "# shifted\n\n" + textwrap.dedent(LEDGER)})
+        code, out = self._cli("--root", str(pkg), "--baseline", str(baseline))
+        assert code == 0
+        assert "0 new, 1 baselined, 0 stale" in out
+
+    def test_json_output_is_machine_readable(self, tmp_path):
+        pkg = write_pkg(tmp_path, {"ledger.py": LEDGER})
+        code, out = self._cli("--root", str(pkg), "--json",
+                              "--baseline", str(tmp_path / "b.json"))
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["ok"] is False
+        assert payload["new"][0]["rule"] == "lock.discipline"
+
+    def test_unknown_family_and_flag_exit_2(self, tmp_path):
+        assert self._cli("--family", "bogus")[0] == 2
+        assert self._cli("--wat")[0] == 2
+
+    def test_help_exits_zero(self):
+        code, out = self._cli("--help")
+        assert code == 0 and "usage" in out
+
+
+# -- the committed baseline meta-test ----------------------------------------
+
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestCommittedBaseline:
+    def test_repo_is_clean_against_committed_baseline(self):
+        """The analyzer over the real ``src/repro`` must report no new
+        findings and no stale fingerprints — the exact CI gate."""
+        baseline = Baseline.load(REPO_ROOT / "staticcheck-baseline.json")
+        report = run_project(
+            REPO_ROOT / "src" / "repro", REPO_ROOT, baseline
+        )
+        assert report.new == [], report.format()
+        assert report.stale == [], report.format()
+
+    def test_every_baseline_entry_carries_a_reason(self):
+        data = json.loads(
+            (REPO_ROOT / "staticcheck-baseline.json").read_text()
+        )
+        assert data["version"] == 1
+        for fingerprint, reason in data["findings"].items():
+            assert reason and not reason.startswith("TODO"), fingerprint
+
+    def test_cli_over_repo_exits_zero(self):
+        code = main([], echo=lambda _: None)
+        assert code == 0
