@@ -52,6 +52,11 @@ DIRECTIONS = {
     # conservatively, the gate catches collapses, not machine noise)
     "server_statements_per_sec": "higher",
     "server_p95_latency_ms": "lower",
+    # durable-storage recovery throughput (wall-clock, conservative
+    # baselines for the same reason)
+    "durability_replay_rows_per_sec": "higher",
+    "durability_replay_records_per_sec": "higher",
+    "durability_checkpoint_load_rows_per_sec": "higher",
 }
 
 

@@ -27,14 +27,24 @@ from .analysis import (
 )
 from .cbqt.framework import CbqtConfig, OptimizationReport
 from .database import Database, OptimizedQuery, OptimizerConfig, QueryResult
+from .durability import (
+    DurabilityConfig,
+    DurabilityManager,
+    RecoveryReport,
+    verify_recovery,
+)
 from .errors import (
     AdmissionRejected,
+    DurabilityError,
     FaultInjected,
+    RecoveryError,
     ReproError,
+    ServerShuttingDown,
     SessionNotFound,
     StatementCancelled,
     StatementTimeout,
     VerificationError,
+    WalCorruption,
 )
 from .obs import MetricsRegistry, TraceEvent, Tracer
 from .resilience import (
@@ -51,7 +61,7 @@ from .resilience import (
 from .server import ReproServer, ServerConfig
 from .service import Cursor, PlanCache, PreparedStatement, QueryService, Session
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Database",
@@ -78,6 +88,14 @@ __all__ = [
     "StatementCancelled",
     "AdmissionRejected",
     "SessionNotFound",
+    "ServerShuttingDown",
+    "DurabilityError",
+    "WalCorruption",
+    "RecoveryError",
+    "DurabilityConfig",
+    "DurabilityManager",
+    "RecoveryReport",
+    "verify_recovery",
     "FaultInjected",
     "ResilienceConfig",
     "DegradationInfo",

@@ -68,6 +68,25 @@ class Index:
     def leading_column(self) -> str:
         return self.columns[0]
 
+    def to_dict(self) -> dict:
+        """JSON-able form (durability checkpoint / WAL record payload)."""
+        return {
+            "name": self.name,
+            "table": self.table,
+            "columns": list(self.columns),
+            "unique": self.unique,
+        }
+
+
+def index_from_dict(payload: dict) -> Index:
+    """Rebuild an :class:`Index` from :meth:`Index.to_dict` output."""
+    return Index(
+        payload["name"],
+        payload["table"],
+        tuple(payload["columns"]),
+        bool(payload["unique"]),
+    )
+
 
 @dataclass(frozen=True)
 class ForeignKey:
@@ -152,8 +171,69 @@ class TableDef:
         column_set = {c.lower() for c in columns}
         return any(set(key) <= column_set for key in self.all_keys())
 
+    def to_dict(self, include_indexes: bool = True) -> dict:
+        """JSON-able form of this definition.
+
+        A durability *checkpoint* serializes with indexes (the fully
+        derived state, restored verbatim via :meth:`Catalog.load_table`);
+        a ``create_table`` *WAL record* serializes without them — replay
+        goes through :meth:`Catalog.add_table`, which re-synthesizes the
+        pk/uk auto-indexes deterministically."""
+        payload = {
+            "name": self.name,
+            "columns": [
+                {
+                    "name": column.name,
+                    "type": column.data_type.value,
+                    "not_null": column.not_null,
+                }
+                for column in self.columns.values()
+            ],
+            "primary_key": list(self.primary_key) if self.primary_key else None,
+            "unique_keys": [list(key) for key in self.unique_keys],
+            "foreign_keys": [
+                {
+                    "columns": list(fk.columns),
+                    "ref_table": fk.ref_table,
+                    "ref_columns": list(fk.ref_columns),
+                }
+                for fk in self.foreign_keys
+            ],
+        }
+        if include_indexes:
+            payload["indexes"] = [index.to_dict() for index in self.indexes]
+        return payload
+
     def __repr__(self) -> str:
         return f"TableDef({self.name}, {len(self.columns)} columns)"
+
+
+def table_from_dict(payload: dict) -> tuple[TableDef, list[Index]]:
+    """Rebuild a :class:`TableDef` (and its serialized indexes, if any)
+    from :meth:`TableDef.to_dict` output."""
+    name = payload["name"]
+    columns = [
+        Column(c["name"], DataType(c["type"]), bool(c["not_null"]))
+        for c in payload["columns"]
+    ]
+    primary_key = payload.get("primary_key")
+    table = TableDef(
+        name,
+        columns,
+        tuple(primary_key) if primary_key else None,
+        [tuple(key) for key in payload.get("unique_keys", [])],
+        [
+            ForeignKey(
+                name,
+                tuple(fk["columns"]),
+                fk["ref_table"],
+                tuple(fk["ref_columns"]),
+            )
+            for fk in payload.get("foreign_keys", [])
+        ],
+    )
+    indexes = [index_from_dict(ix) for ix in payload.get("indexes", [])]
+    return table, indexes
 
 
 class Catalog:
@@ -230,6 +310,62 @@ class Catalog:
                 index.columns != table.primary_key:
             table.unique_keys.append(index.columns)
         return index
+
+    def load_table(self, table: TableDef, indexes: Iterable[Index]) -> TableDef:
+        """Install a checkpoint-deserialized table exactly as serialized:
+        no pk/uk auto-index synthesis and no unique-key back-propagation —
+        the checkpoint already captured the fully derived state."""
+        with self._lock:
+            if table.name in self.tables:
+                raise CatalogError(f"table {table.name!r} already exists")
+            self.tables[table.name] = table
+        for index in indexes:
+            if index.name in self.indexes:
+                raise CatalogError(f"index {index.name!r} already exists")
+            table.indexes.append(index)
+            self.indexes[index.name] = index
+        self._bump(table.name)
+        return table
+
+    def remove_table(self, name: str) -> None:
+        """Back out a table definition and every index on it.
+
+        Only the DDL-rollback and recovery paths call this — user-facing
+        DROP TABLE is outside the SQL subset."""
+        key = name.lower()
+        with self._lock:
+            table = self.tables.pop(key, None)
+        if table is None:
+            return
+        for index in table.indexes:
+            self.indexes.pop(index.name, None)
+        self._bump(key)
+
+    def remove_index(self, name: str) -> None:
+        """Back out one index definition (DDL-rollback path only).
+
+        Undoes exactly what :meth:`add_index` did: the unique-key entry it
+        back-propagated is removed only when no *other* unique index still
+        backs those columns — declared unique keys always keep their
+        ``<table>_uk<i>`` auto-index, so they are never dropped here."""
+        index = self.indexes.pop(name, None)
+        if index is None:
+            return
+        table = self.tables.get(index.table)  # staticcheck: ignore[lock.discipline] GIL-atomic dict read; DDL serializes under the durability lock
+        if table is None:
+            return
+        table.indexes = [ix for ix in table.indexes if ix.name != name]
+        if (
+            index.unique
+            and index.columns != table.primary_key
+            and index.columns in table.unique_keys
+            and not any(
+                ix.unique and ix.columns == index.columns
+                for ix in table.indexes
+            )
+        ):
+            table.unique_keys.remove(index.columns)
+        self._bump(table.name)
 
     def register_expensive_function(self, name: str, cost: float = 1000.0) -> None:
         """Mark *name* as an expensive (procedural / user-defined) function

@@ -95,6 +95,35 @@ class Histogram:
         hi_frac = self._cumulative(high) if high is not None else 1.0
         return max(0.0, min(1.0, hi_frac - lo_frac))
 
+    def to_dict(self) -> dict:
+        """JSON-able form.  Frequency counts are ``[value, count]`` pairs
+        rather than an object — JSON object keys are always strings, and
+        the histogram's keys are typed column values."""
+        return {
+            "total": self.total,
+            "frequency": (
+                None
+                if self.frequency is None
+                else [[value, count] for value, count in self.frequency.items()]
+            ),
+            "boundaries": list(self.boundaries),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Histogram":
+        """Rebuild from :meth:`to_dict` output without re-deriving buckets
+        — the serialized form *is* the histogram."""
+        histogram = cls([])
+        histogram.total = payload["total"]
+        frequency = payload.get("frequency")
+        histogram.frequency = (
+            None
+            if frequency is None
+            else {value: count for value, count in frequency}
+        )
+        histogram.boundaries = list(payload.get("boundaries", []))
+        return histogram
+
     def _cumulative(self, value: object) -> float:
         """Approximate fraction of rows with column value <= *value*.
 
@@ -224,6 +253,50 @@ class StatisticsRegistry:
         self._stats.clear()
         for table in tables:
             self._bump(table)
+
+    def items(self) -> list[tuple[str, TableStats]]:
+        """Snapshot of every table's statistics (checkpoint path)."""
+        return sorted(self._stats.items())
+
+
+def stats_to_dict(stats: TableStats) -> dict:
+    """JSON-able form of one table's statistics (checkpoint payload)."""
+    return {
+        "row_count": stats.row_count,
+        "sampled": stats.sampled,
+        "columns": {
+            name: {
+                "num_distinct": col.num_distinct,
+                "num_nulls": col.num_nulls,
+                "min_value": col.min_value,
+                "max_value": col.max_value,
+                "histogram": (
+                    col.histogram.to_dict() if col.histogram else None
+                ),
+            }
+            for name, col in stats.columns.items()
+        },
+    }
+
+
+def stats_from_dict(payload: dict) -> TableStats:
+    """Rebuild :class:`TableStats` from :func:`stats_to_dict` output."""
+    stats = TableStats(
+        row_count=payload["row_count"],
+        sampled=bool(payload.get("sampled", False)),
+    )
+    for name, col in payload.get("columns", {}).items():
+        histogram = col.get("histogram")
+        stats.columns[name] = ColumnStats(
+            num_distinct=col["num_distinct"],
+            num_nulls=col["num_nulls"],
+            min_value=col["min_value"],
+            max_value=col["max_value"],
+            histogram=(
+                Histogram.from_dict(histogram) if histogram else None
+            ),
+        )
+    return stats
 
 
 def collect_statistics(

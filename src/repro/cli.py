@@ -54,9 +54,16 @@ transformation + CBQT state that produced it (exit status 1 if any
 errors are found), ``python -m repro quarantine [stats|reset
 [NAME]] [script ...]`` inspects or resets the transformation
 quarantine after running the scripts, ``python -m repro serve
-[script ...] [--host H] [--port P] [--workers N]`` runs the scripts and
-then serves the database over the HTTP/JSON protocol
-(:mod:`repro.server`) until interrupted, and ``python -m repro
+[script ...] [--host H] [--port P] [--workers N] [--data-dir DIR]``
+runs the scripts and then serves the database over the HTTP/JSON
+protocol (:mod:`repro.server`) until interrupted (with ``--data-dir``
+the database is durable — write-ahead logged, recovered on start, and
+checkpointed on graceful SIGTERM/SIGINT shutdown), ``python -m repro
+checkpoint --data-dir DIR [script ...]`` recovers a data directory,
+runs the scripts, and writes a checkpoint, ``python -m repro recover
+--data-dir DIR [--verify]`` recovers a data directory and prints the
+recovery report (``--verify`` replays it read-only into two replicas
+and exits 1 on divergence or corruption), and ``python -m repro
 staticcheck [--json] [--verbose]`` runs the project-aware static
 analyzer (:mod:`repro.staticcheck`) and exits 1 on any finding not in
 the committed baseline.
@@ -552,22 +559,57 @@ def _cmd_metrics(args: list[str], shell: Shell) -> int:
     return 0
 
 
+def _open_durable(shell: Shell, data_dir: str, fsync: str) -> int:
+    """Swap the shell's in-memory database for a durable one rooted at
+    *data_dir* (recovering whatever the directory already holds)."""
+    from .durability import DurabilityConfig
+
+    try:
+        shell.db = Database(
+            data_dir=data_dir, durability=DurabilityConfig(fsync=fsync)
+        )
+    except ReproError as exc:
+        shell.echo(f"error: {exc}")
+        return 1
+    shell.service = QueryService(shell.db)
+    report = shell.db.recovery
+    if report is not None and (
+        report.checkpoint_tables or report.wal_records_total
+    ):
+        shell.echo(
+            f"recovered {data_dir}: checkpoint lsn {report.checkpoint_lsn} "
+            f"({report.checkpoint_tables} tables, "
+            f"{report.checkpoint_rows} rows), "
+            f"{report.wal_records_applied} WAL records replayed"
+            + (f", {report.torn_bytes_dropped} torn bytes dropped"
+               if report.torn_bytes_dropped else "")
+        )
+    return 0
+
+
 def _cmd_serve(args: list[str], shell: Shell) -> int:
     """``repro serve [script ...] [--host H] [--port P] [--workers N]
-    [--timeout S] [--idle-timeout S] [--verbose]`` — run the scripts
-    (schema / data setup), then serve the database over HTTP/JSON until
-    interrupted.  All sessions share the shell's plan cache."""
+    [--timeout S] [--idle-timeout S] [--data-dir DIR] [--fsync P]
+    [--grace S] [--verbose]`` — run the scripts (schema / data setup),
+    then serve the database over HTTP/JSON until interrupted.  All
+    sessions share the shell's plan cache.  With ``--data-dir`` the
+    database is durable: it recovers the directory on start, write-ahead
+    logs every commit, and SIGTERM/SIGINT drain in-flight statements
+    (``--grace`` seconds), checkpoint, and close the WAL before exit."""
     from .server import ReproServer, ServerConfig
-    from .server.http import RequestHandler, make_http_server
+    from .server.http import RequestHandler, make_http_server, run_server
 
     config = ServerConfig()
     scripts: list[str] = []
+    data_dir: Optional[str] = None
+    fsync = "batch"
     flags = {
         "--host": ("host", str),
         "--port": ("port", int),
         "--workers": ("workers", int),
         "--timeout": ("statement_timeout", float),
         "--idle-timeout": ("idle_timeout", float),
+        "--grace": ("shutdown_grace", float),
     }
     i = 0
     while i < len(args):
@@ -575,6 +617,15 @@ def _cmd_serve(args: list[str], shell: Shell) -> int:
         if arg == "--verbose":
             RequestHandler.verbose = True
             i += 1
+        elif arg in ("--data-dir", "--fsync"):
+            if i + 1 >= len(args):
+                shell.echo(f"usage: serve ... {arg} VALUE")
+                return 2
+            if arg == "--data-dir":
+                data_dir = args[i + 1]
+            else:
+                fsync = args[i + 1]
+            i += 2
         elif arg in flags:
             if i + 1 >= len(args):
                 shell.echo(f"usage: serve ... {arg} VALUE")
@@ -592,21 +643,124 @@ def _cmd_serve(args: list[str], shell: Shell) -> int:
         else:
             scripts.append(arg)
             i += 1
+    if data_dir is not None:
+        status = _open_durable(shell, data_dir, fsync)
+        if status:
+            return status
     for path in scripts:
         with open(path) as handle:
             shell.run_script(handle.read())
     app = ReproServer(service=shell.service, config=config)
     server = make_http_server(app)
     host, port = server.server_address[:2]
+    durable = f", durable at {data_dir} (fsync={fsync})" if data_dir else ""
     shell.echo(f"serving on http://{host}:{port} "
-               f"({config.workers} workers); Ctrl-C to stop")
+               f"({config.workers} workers{durable}); Ctrl-C to stop")
+    outcome = run_server(server)
+    if outcome.get("cancelled"):
+        shell.echo(f"shutdown: cancelled {outcome['cancelled']} statements")
+    if outcome.get("checkpointed"):
+        shell.echo("shutdown: checkpoint written, WAL closed")
+    return 0
+
+
+def _parse_data_dir(args: list[str], shell: Shell, usage: str,
+                    ) -> tuple[Optional[str], str, list[str], bool, int]:
+    """Shared ``--data-dir DIR [--fsync P] [--verify] [script ...]``
+    parsing for the durability verbs."""
+    data_dir: Optional[str] = None
+    fsync = "batch"
+    verify = False
+    scripts: list[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg in ("--data-dir", "--fsync"):
+            if i + 1 >= len(args):
+                shell.echo(usage)
+                return None, fsync, scripts, verify, 2
+            if arg == "--data-dir":
+                data_dir = args[i + 1]
+            else:
+                fsync = args[i + 1]
+            i += 2
+        elif arg == "--verify":
+            verify = True
+            i += 1
+        elif arg.startswith("--"):
+            shell.echo(f"error: unknown flag {arg}")
+            return None, fsync, scripts, verify, 2
+        else:
+            scripts.append(arg)
+            i += 1
+    if data_dir is None:
+        shell.echo(usage)
+        return None, fsync, scripts, verify, 2
+    return data_dir, fsync, scripts, verify, 0
+
+
+def _cmd_checkpoint(args: list[str], shell: Shell) -> int:
+    """``repro checkpoint --data-dir DIR [--fsync P] [script ...]`` —
+    recover the directory, run the scripts (if any), write a checkpoint
+    of the full state, truncate the WAL, and close."""
+    usage = "usage: checkpoint --data-dir DIR [--fsync P] [script ...]"
+    data_dir, fsync, scripts, _, status = _parse_data_dir(args, shell, usage)
+    if status or data_dir is None:
+        return status
+    status = _open_durable(shell, data_dir, fsync)
+    if status:
+        return status
+    for path in scripts:
+        with open(path) as handle:
+            shell.run_script(handle.read())
     try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        shell.echo("shutting down")
+        lsn = shell.db.checkpoint()
     finally:
-        server.server_close()
-        app.close()
+        shell.db.close()
+    shell.echo(f"checkpoint written at lsn {lsn} ({data_dir})")
+    return 0
+
+
+def _cmd_recover(args: list[str], shell: Shell) -> int:
+    """``repro recover --data-dir DIR [--verify]`` — recover the
+    directory and print the recovery report.  Without ``--verify`` a
+    torn WAL tail is repaired on disk (what a normal open does); with
+    ``--verify`` the files are left untouched and recovery is replayed
+    twice into independent replicas, requiring identical state digests
+    and index invariants — exit 1 when recovery fails or diverges."""
+    import os
+
+    from .durability import (
+        CHECKPOINT_FILENAME,
+        WAL_FILENAME,
+        verify_recovery,
+    )
+    from .errors import DurabilityError
+
+    usage = "usage: recover --data-dir DIR [--verify]"
+    data_dir, fsync, _, verify, status = _parse_data_dir(args, shell, usage)
+    if status or data_dir is None:
+        return status
+    if verify:
+        try:
+            report = verify_recovery(
+                data_dir,
+                os.path.join(data_dir, WAL_FILENAME),
+                os.path.join(data_dir, CHECKPOINT_FILENAME),
+            )
+        except DurabilityError as exc:
+            shell.echo(f"verification FAILED: {exc}")
+            return 1
+        shell.echo(f"verification ok: {data_dir}")
+    else:
+        status = _open_durable(shell, data_dir, fsync)
+        if status:
+            return status
+        report = shell.db.recovery
+        shell.db.close()
+    if report is not None:
+        for key, value in sorted(report.to_dict().items()):
+            shell.echo(f"  {key}: {value}")
     return 0
 
 
@@ -621,10 +775,12 @@ def _cmd_staticcheck(args: list[str], shell: Shell) -> int:
 SUBCOMMANDS = {
     "cache-stats": _cmd_cache_stats,
     "check": _cmd_check,
+    "checkpoint": _cmd_checkpoint,
     "explain": _cmd_explain,
     "explain-analyze": _cmd_explain_analyze,
     "metrics": _cmd_metrics,
     "quarantine": _cmd_quarantine,
+    "recover": _cmd_recover,
     "serve": _cmd_serve,
     "staticcheck": _cmd_staticcheck,
     "trace": _cmd_trace,

@@ -28,6 +28,11 @@ from .catalog.schema import Catalog, Index, TableDef
 from .catalog.statistics import StatisticsRegistry, collect_statistics
 from .cbqt.caching import DynamicSamplingCache
 from .cbqt.framework import CbqtConfig, CbqtFramework, OptimizationReport
+from .durability import (
+    DurabilityConfig,
+    DurabilityManager,
+    RecoveryReport,
+)
 from .engine.executor import ExecStats, Executor
 from .engine.expressions import FunctionRegistry
 from .engine.reference import ReferenceEvaluator
@@ -36,6 +41,7 @@ from .engine.vector import VectorExecutor
 from .engine.vector.parallel import worker_count
 from .errors import (
     CatalogError,
+    DurabilityError,
     ExecutionError,
     ReproError,
     StatementCancelled,
@@ -234,9 +240,16 @@ class QueryResult:
 
 
 class Database:
-    """An in-memory database instance."""
+    """A database instance: in-memory by default, durable when opened
+    with a *data_dir* (write-ahead log + checkpoint + recovery; see
+    :mod:`repro.durability`)."""
 
-    def __init__(self, config: Optional[OptimizerConfig] = None):
+    def __init__(
+        self,
+        config: Optional[OptimizerConfig] = None,
+        data_dir: Optional[str] = None,
+        durability: Optional[DurabilityConfig] = None,
+    ):
         self.config = config or OptimizerConfig()
         self.catalog = Catalog()
         self.storage = Storage()
@@ -267,6 +280,22 @@ class Database:
         self.executor_mode: str = _default_executor_mode()
         #: worker count for "parallel" mode morsel dispatch
         self.executor_workers: int = worker_count()
+        #: durable-storage manager; None = pure in-memory instance (the
+        #: default, and the zero-cost path every mutation is guarded on)
+        self.durability: Optional[DurabilityManager] = None
+        #: what recovery found when a *data_dir* instance opened
+        self.recovery: Optional[RecoveryReport] = None
+        if data_dir is not None:
+            manager = DurabilityManager(data_dir, durability, self.metrics)
+            # replay drives the public mutation API below; the manager is
+            # attached only afterwards so recovery does not re-log
+            self.recovery = manager.open(self)
+            self.durability = manager
+            self.metrics.register_collector("durability", manager.stats)
+        elif durability is not None:
+            raise DurabilityError(
+                "a DurabilityConfig needs a data_dir to apply to"
+            )
 
     # -- schema & data -------------------------------------------------------
 
@@ -274,41 +303,136 @@ class Database:
         """Run one CREATE TABLE / CREATE INDEX statement."""
         stmt = parse_statement(sql)
         if isinstance(stmt, ast.CreateTable):
-            table = self.catalog.create_table_from_ddl(stmt)
-            self.storage.create(table)
+            self._create_table(self.catalog.create_table_from_ddl, stmt)
         elif isinstance(stmt, ast.CreateIndex):
-            index = self.catalog.create_index_from_ddl(stmt)
-            self.storage.get(index.table).attach_index(index)
+            self._create_index(self.catalog.create_index_from_ddl, stmt)
         else:
             raise CatalogError("execute_ddl expects CREATE TABLE/INDEX")
 
     def create_table(self, table: TableDef) -> None:
         """Register a programmatically built table definition."""
-        self.catalog.add_table(table)
-        self.storage.create(table)
+        self._create_table(self.catalog.add_table, table)
 
     def create_index(self, index: Index) -> None:
-        self.catalog.add_index(index)
-        self.storage.get(index.table).attach_index(index)
+        self._create_index(self.catalog.add_index, index)
+
+    def _create_table(self, register: Callable, definition) -> None:
+        """Shared CREATE TABLE path: catalog + storage + WAL, atomically.
+
+        The catalog entry is rolled back if storage creation or WAL
+        logging fails — a half-created table (in the catalog but without
+        storage, or in memory but not in the log) must never survive."""
+        manager = self.durability
+        if manager is None:
+            table = register(definition)
+            try:
+                self.storage.create(table)
+            except BaseException:
+                self.catalog.remove_table(table.name)
+                raise
+            return
+        with manager.exclusive():
+            table = register(definition)
+            try:
+                self.storage.create(table)
+                manager.append({
+                    "op": "create_table",
+                    "table": table.to_dict(include_indexes=False),
+                })
+            except BaseException:
+                self.catalog.remove_table(table.name)
+                self.storage.drop(table.name)
+                raise
+
+    def _create_index(self, register: Callable, definition) -> None:
+        """Shared CREATE INDEX path, mirroring :meth:`_create_table`:
+        the catalog entry is rolled back when the index build (e.g. a
+        unique violation over existing rows) or WAL logging fails."""
+        manager = self.durability
+        if manager is None:
+            index = register(definition)
+            try:
+                self.storage.get(index.table).attach_index(index)
+            except BaseException:
+                self.catalog.remove_index(index.name)
+                raise
+            return
+        with manager.exclusive():
+            index = register(definition)
+            try:
+                data = self.storage.get(index.table)
+
+                def log_then_publish(publish: Callable[[], None]) -> None:
+                    manager.commit(
+                        {"op": "create_index", "index": index.to_dict()},
+                        publish,
+                    )
+
+                data.attach_index(index, on_commit=log_then_publish)
+            except BaseException:
+                self.catalog.remove_index(index.name)
+                raise
 
     def insert(self, table: str, rows: Iterable[dict]) -> int:
-        """Insert dict rows (missing columns become NULL)."""
-        count = self.storage.get(table).insert(rows)
+        """Insert dict rows (missing columns become NULL).
+
+        On a durable instance the batch's WAL record is appended —
+        normalised rows, one record for the whole batch — *before* the
+        new table version is published, so an acknowledged insert
+        survives a crash and a failed one is invisible everywhere."""
+        manager = self.durability
+        if manager is None:
+            count = self.storage.get(table).insert(rows)
+        else:
+            with manager.exclusive():
+                data = self.storage.get(table)
+                name = data.table.name
+
+                def log_then_publish(
+                    batch: list, publish: Callable[[], None]
+                ) -> None:
+                    manager.commit(
+                        {"op": "insert", "table": name, "rows": batch},
+                        publish,
+                    )
+
+                count = data.insert(rows, on_commit=log_then_publish)
         self.statistics.drop(table)
         self._sampling_cache.invalidate(table)
+        if manager is not None:
+            manager.maybe_checkpoint(self)
         return count
 
     def analyze(self, table: Optional[str] = None) -> None:
         """Collect exact optimizer statistics (ANALYZE)."""
-        names = [table.lower()] if table else list(self.catalog.tables)
-        for name in names:
-            data = self.storage.get(name)
-            self.statistics.set(
+        manager = self.durability
+        if manager is None:
+            for name, stats in self._collect_analyze(table):
+                self.statistics.set(name, stats)
+            return
+        with manager.exclusive():
+            # collect first (it can fail on an unknown table — nothing
+            # may be logged then), log, then publish.  The record carries
+            # no statistics: replay re-runs the same deterministic
+            # collection over identical rows, and the exclusive lock
+            # pins the rows the LSN refers to.
+            computed = self._collect_analyze(table)
+            manager.append({"op": "analyze", "table": table})
+            for name, stats in computed:
+                self.statistics.set(name, stats)
+
+    def _collect_analyze(self, table: Optional[str]) -> list:
+        names = [table.lower()] if table else list(self.catalog.tables)  # staticcheck: ignore[lock.discipline] GIL-atomic dict iteration, as the pre-durability analyze did
+        return [
+            (
                 name,
                 collect_statistics(
-                    data.rows, self.catalog.table(name).column_names
+                    self.storage.get(name).rows,
+                    self.catalog.table(name).column_names,
                 ),
             )
+            for name in names
+        ]
 
     def register_function(
         self,
@@ -317,10 +441,42 @@ class Database:
         expensive_cost: Optional[float] = None,
     ) -> None:
         """Register a scalar function; a non-None *expensive_cost* marks
-        it expensive for the predicate-pullup transformation (§2.2.6)."""
+        it expensive for the predicate-pullup transformation (§2.2.6).
+
+        Only the catalog fact (name + cost) is durable — the callable
+        itself cannot be serialized, so applications must re-register
+        their functions on every open; costing then behaves identically
+        after recovery."""
         self.functions.register(name, fn)
-        if expensive_cost is not None:
+        if expensive_cost is None:
+            return
+        manager = self.durability
+        if manager is None:
             self.catalog.register_expensive_function(name, expensive_cost)
+            return
+        with manager.exclusive():
+            manager.append({
+                "op": "expensive_function",
+                "name": name,
+                "cost": expensive_cost,
+            })
+            self.catalog.register_expensive_function(name, expensive_cost)
+
+    # -- durability ----------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Serialize the full committed state to the data directory and
+        truncate the WAL; returns the checkpoint's LSN."""
+        if self.durability is None:
+            raise DurabilityError(
+                "checkpoint requires a database opened with data_dir"
+            )
+        return self.durability.checkpoint(self)
+
+    def close(self) -> None:
+        """Flush and release durable resources (no-op when in-memory)."""
+        if self.durability is not None:
+            self.durability.close()
 
     # -- observability ---------------------------------------------------------
 

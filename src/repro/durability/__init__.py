@@ -1,0 +1,68 @@
+"""Durable storage under the copy-on-write engine: write-ahead log,
+checkpoint/recovery, and the crash-consistency commit protocol.
+
+Opt-in and zero-cost when unused: a :class:`~repro.database.Database`
+opened without ``data_dir`` never touches this package at runtime (the
+durability bench gates that structurally and by paired timing).
+
+    db = Database(data_dir="./data")          # recovers, then serves
+    db.execute_ddl("CREATE TABLE t (id INT PRIMARY KEY)")
+    db.insert("t", [{"id": 1}])               # WAL record before publish
+    db.checkpoint()                           # snapshot + truncate WAL
+    db.close()
+
+See :mod:`repro.durability.wal` for the record format and fsync
+policies, :mod:`repro.durability.manager` for the commit protocol, and
+:mod:`repro.durability.recovery` for the recovery/verification
+protocol.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    build_checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from .manager import (
+    CHECKPOINT_FILENAME,
+    WAL_FILENAME,
+    DurabilityConfig,
+    DurabilityManager,
+)
+from .recovery import (
+    RecoveryReport,
+    apply_record,
+    recover,
+    state_digest,
+    verify_recovery,
+)
+from .wal import (
+    FSYNC_POLICIES,
+    WalReadResult,
+    WriteAheadLog,
+    encode_record,
+    read_wal,
+    repair_wal,
+)
+
+__all__ = [
+    "CHECKPOINT_FILENAME",
+    "CHECKPOINT_FORMAT",
+    "FSYNC_POLICIES",
+    "WAL_FILENAME",
+    "DurabilityConfig",
+    "DurabilityManager",
+    "RecoveryReport",
+    "WalReadResult",
+    "WriteAheadLog",
+    "apply_record",
+    "build_checkpoint",
+    "encode_record",
+    "read_checkpoint",
+    "read_wal",
+    "recover",
+    "repair_wal",
+    "state_digest",
+    "verify_recovery",
+    "write_checkpoint",
+]

@@ -1,0 +1,229 @@
+"""The durability manager: the commit protocol tying the WAL, the
+checkpointer, and recovery to one database instance.
+
+Commit protocol (the crash-consistency core):
+
+1. every durable mutation runs under the manager's exclusive lock —
+   the lock is acquired *before* any table/catalog lock, so the
+   ordering ``manager -> table -> catalog`` holds on every path and the
+   checkpointer (which also takes the exclusive lock) can never observe
+   a half-applied operation;
+2. the mutation validates and stages its new state (a fresh
+   :class:`~repro.engine.tables.TableVersion`, a catalog entry, ...);
+3. :meth:`DurabilityManager.commit` appends the WAL record — assigning
+   the next LSN — and only *then* invokes the publish closure that
+   makes the state visible.  If the append fails, nothing is published
+   and the log is rolled back to its pre-append offset: an
+   unacknowledged commit can survive neither in memory nor on disk.
+
+A checkpoint serializes the whole committed state (stamped with the
+current LSN) to ``checkpoint.json`` atomically and truncates
+``wal.jsonl``; recovery on open loads the checkpoint, repairs a torn
+WAL tail, and replays records with ``lsn > checkpoint.lsn`` through the
+database's own public mutation API (with the manager detached, so
+replay does not re-log).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
+
+from ..errors import DurabilityError
+from .checkpoint import build_checkpoint, write_checkpoint
+from .recovery import RecoveryReport, recover
+from .wal import FSYNC_POLICIES, WriteAheadLog
+
+if TYPE_CHECKING:  # deferred: the database layer imports this package
+    from ..database import Database
+    from ..obs import MetricsRegistry
+
+#: file names inside a data directory
+WAL_FILENAME = "wal.jsonl"
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+
+@dataclass
+class DurabilityConfig:
+    """Knobs for the durable-storage layer."""
+
+    #: WAL fsync policy: "always" / "batch" / "off" (see
+    #: :mod:`repro.durability.wal` for the guarantees each buys)
+    fsync: str = "batch"
+    #: records per fsync under the "batch" policy
+    batch_records: int = 8
+    #: auto-checkpoint once this many WAL records accumulate
+    #: (None/0 = explicit checkpoints only)
+    checkpoint_every: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {self.fsync!r}; "
+                f"use one of {FSYNC_POLICIES}"
+            )
+
+
+class DurabilityManager:
+    """WAL + checkpoint + recovery for one data directory."""
+
+    def __init__(
+        self,
+        data_dir: str,
+        config: Optional[DurabilityConfig] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        self.data_dir = data_dir
+        self.config = config or DurabilityConfig()
+        self.metrics = metrics
+        #: re-entrant so a mutation already inside :meth:`exclusive` can
+        #: reach :meth:`commit`; ordering: this lock is always taken
+        #: before any table/catalog lock, never after
+        self._lock = threading.RLock()
+        self._lsn = 0
+        self._wal_records = 0
+        self._wal: Optional[WriteAheadLog] = None
+
+    @property
+    def wal_path(self) -> str:
+        return os.path.join(self.data_dir, WAL_FILENAME)
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.data_dir, CHECKPOINT_FILENAME)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self, db: "Database") -> RecoveryReport:
+        """Recover *db* from the data directory and arm the WAL.
+
+        Must run before the manager is attached to the database (replay
+        drives the public mutation API, which must not re-log)."""
+        os.makedirs(self.data_dir, exist_ok=True)
+        report = recover(db, self.wal_path, self.checkpoint_path)
+        with self._lock:
+            self._lsn = report.last_lsn
+            self._wal_records = (
+                report.wal_records_applied + report.wal_records_skipped
+            )
+            self._wal = WriteAheadLog(
+                self.wal_path, self.config.fsync, self.config.batch_records
+            )
+        return report
+
+    def close(self) -> None:
+        """Flush, fsync (policy permitting), and release the WAL."""
+        with self._lock:
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._wal is None
+
+    # -- the commit protocol -----------------------------------------------
+
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        """Serialize one durable mutation against commits and
+        checkpoints (re-entrant; see the module docstring for why this
+        lock comes first in the ordering)."""
+        with self._lock:
+            yield
+
+    def _require_wal(self) -> WriteAheadLog:
+        if self._wal is None:  # staticcheck: ignore[lock.discipline] callers hold self._lock (re-entrant)
+            raise DurabilityError(
+                f"durability manager for {self.data_dir} is closed"
+            )
+        return self._wal  # staticcheck: ignore[lock.discipline] callers hold self._lock (re-entrant)
+
+    def append(self, payload: dict) -> int:
+        """Append one WAL record (LSN assigned here); returns the LSN.
+
+        The caller is mid-mutation under :meth:`exclusive`; on failure
+        the WAL was rolled back and the caller must not publish."""
+        with self._lock:
+            wal = self._require_wal()
+            record = dict(payload)
+            record["lsn"] = self._lsn + 1
+            started = time.perf_counter()
+            wal.append(record)
+            self._lsn += 1
+            self._wal_records += 1
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("durability.wal_records").inc()
+            metrics.histogram("durability.wal_append_ms").record(
+                (time.perf_counter() - started) * 1000.0
+            )
+        return record["lsn"]
+
+    def commit(self, payload: dict, publish: Callable[[], None]) -> int:
+        """Log *payload*, then publish: the WAL-before-visibility step.
+
+        Holding the lock across both makes append + publish atomic with
+        respect to the checkpointer — a checkpoint at LSN *n* always
+        contains the effects of records ``1..n``."""
+        with self._lock:
+            lsn = self.append(payload)
+            publish()
+            return lsn
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self, db: "Database") -> int:
+        """Serialize the full committed state and truncate the WAL;
+        returns the checkpoint's LSN."""
+        started = time.perf_counter()
+        with self._lock:
+            wal = self._require_wal()
+            state = build_checkpoint(
+                self._lsn, db.catalog, db.storage, db.statistics
+            )
+            write_checkpoint(self.checkpoint_path, state)
+            # only after the rename landed may the records go; a crash
+            # in between is benign (recovery skips lsn <= checkpoint.lsn)
+            wal.truncate()
+            self._wal_records = 0
+            lsn = self._lsn
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("durability.checkpoints").inc()
+            metrics.histogram("durability.checkpoint_ms").record(
+                (time.perf_counter() - started) * 1000.0
+            )
+        return lsn
+
+    def maybe_checkpoint(self, db: "Database") -> bool:
+        """Checkpoint if ``checkpoint_every`` records have accumulated."""
+        every = self.config.checkpoint_every
+        if not every:
+            return False
+        with self._lock:
+            if self._wal is None or self._wal_records < every:
+                return False
+        self.checkpoint(db)
+        return True
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Accounting for the metrics registry's collector hook."""
+        with self._lock:
+            wal = self._wal
+            return {
+                "data_dir": self.data_dir,
+                "fsync": self.config.fsync,
+                "lsn": self._lsn,
+                "wal_records": self._wal_records,
+                "wal_bytes_appended": wal.bytes_appended if wal else 0,
+                "wal_fsyncs": wal.fsyncs if wal else 0,
+                "closed": wal is None,
+            }

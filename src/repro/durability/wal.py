@@ -1,0 +1,281 @@
+"""The write-ahead log: checksummed, length-prefixed JSONL records.
+
+One record per committed mutation, one line per record::
+
+    <length:08x> <crc32:08x> <payload-json>\\n
+
+``length`` is the byte length of the JSON payload, ``crc32`` its
+checksum (:func:`zlib.crc32`).  Payloads are compact, sorted-key ASCII
+JSON, so the log is greppable and diffable while still being
+machine-verifiable byte for byte.  Every payload carries a
+monotonically increasing ``lsn``; within one log file LSNs are
+consecutive, which lets the reader distinguish a *torn tail* (the
+expected signature of a crash mid-append: truncate and continue) from
+*mid-file corruption* (a valid record after an invalid one, or an LSN
+hole: refuse with :class:`~repro.errors.WalCorruption`).
+
+Durability levels (``fsync`` policy):
+
+``always``
+    flush + ``os.fsync`` after every record — a crash loses nothing
+    acknowledged;
+``batch``
+    flush after every record, fsync every ``batch_records`` records —
+    a crash loses at most the last unsynced batch to a *power* failure
+    (a process kill alone loses nothing: the data is in the page cache);
+``off``
+    flush only — recovery still works after process death, but a power
+    failure may lose recent records.
+
+Appends are atomic at the API level: if the write or fsync fails (for
+real or via the ``wal.append`` / ``wal.fsync`` fault points), the file
+is truncated back to its pre-append offset, so an unacknowledged commit
+never persists.  The ``wal.torn_tail`` fault point instead *simulates a
+crash*: it leaves half the record on disk and poisons the handle so the
+test must reopen — exactly what a killed process would force.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import DurabilityError, WalCorruption
+from ..resilience import faults
+
+#: bytes before the payload: 8 hex length + space + 8 hex crc + space
+HEADER_BYTES = 18
+
+#: accepted fsync policies
+FSYNC_POLICIES = ("always", "batch", "off")
+
+
+def encode_record(payload: dict) -> bytes:
+    """One WAL line for *payload* (which must be JSON-able)."""
+    body = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+    return (
+        f"{len(body):08x} {zlib.crc32(body):08x} ".encode("ascii")
+        + body
+        + b"\n"
+    )
+
+
+def _decode_at(data: bytes, offset: int) -> Optional[tuple[dict, int]]:
+    """Parse one record at *offset*; ``(payload, end_offset)`` if the
+    bytes there form a complete, checksum-valid record, else ``None``."""
+    header_end = offset + HEADER_BYTES
+    if header_end > len(data):
+        return None
+    header = data[offset:header_end]
+    if header[8:9] != b" " or header[17:18] != b" ":
+        return None
+    try:
+        length = int(header[0:8], 16)
+        crc = int(header[9:17], 16)
+    except ValueError:
+        return None
+    end = header_end + length + 1
+    if end > len(data):
+        return None
+    body = data[header_end:header_end + length]
+    if data[end - 1:end] != b"\n" or zlib.crc32(body) != crc:
+        return None
+    try:
+        payload = json.loads(body)
+    except ValueError:
+        return None
+    if not isinstance(payload, dict) or not isinstance(payload.get("lsn"), int):
+        return None
+    return payload, end
+
+
+@dataclass
+class WalReadResult:
+    """Outcome of scanning a WAL file."""
+
+    #: every valid record, in log order
+    records: list[dict] = field(default_factory=list)
+    #: byte offset just past the last valid record
+    valid_bytes: int = 0
+    #: bytes after ``valid_bytes`` (a torn final record; 0 = clean log)
+    torn_bytes: int = 0
+
+
+def read_wal(path: str) -> WalReadResult:
+    """Scan the log at *path* (missing file = empty log).
+
+    A torn *final* record is reported, not raised; anything valid found
+    *after* an invalid region — or a break in the consecutive LSN
+    sequence — raises :class:`WalCorruption`, because silently dropping
+    it would lose an acknowledged commit."""
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return WalReadResult()
+    result = WalReadResult()
+    offset = 0
+    while offset < len(data):
+        decoded = _decode_at(data, offset)
+        if decoded is None:
+            break
+        payload, end = decoded
+        if result.records and payload["lsn"] != result.records[-1]["lsn"] + 1:
+            raise WalCorruption(
+                f"WAL {path}: LSN jumped from {result.records[-1]['lsn']} "
+                f"to {payload['lsn']} at byte {offset} — records are missing"
+            )
+        result.records.append(payload)
+        offset = end
+    result.valid_bytes = offset
+    result.torn_bytes = len(data) - offset
+    if result.torn_bytes:
+        _reject_valid_after_torn(path, data, offset)
+    return result
+
+
+def _reject_valid_after_torn(path: str, data: bytes, torn_at: int) -> None:
+    """A complete record *after* the invalid region means the hole is in
+    the middle of the log, not a torn tail — refuse to repair."""
+    probe = torn_at
+    while True:
+        newline = data.find(b"\n", probe)
+        if newline < 0:
+            return
+        probe = newline + 1
+        if _decode_at(data, probe) is not None:
+            raise WalCorruption(
+                f"WAL {path}: invalid record at byte {torn_at} followed by "
+                f"a valid record at byte {probe} — mid-file corruption, "
+                "not a torn tail; refusing to repair"
+            )
+
+
+def repair_wal(path: str) -> WalReadResult:
+    """Scan and, if the log ends in a torn record, truncate it away.
+
+    Idempotent; raises :class:`WalCorruption` for mid-file damage."""
+    result = read_wal(path)
+    if result.torn_bytes:
+        with open(path, "r+b") as handle:
+            handle.truncate(result.valid_bytes)
+    return result
+
+
+class WriteAheadLog:
+    """Append handle on one WAL file."""
+
+    #: process-wide structural counters: the durability bench asserts
+    #: these stay exactly zero across an in-memory (no data_dir) workload
+    records_appended_total = 0
+    fsyncs_total = 0
+
+    def __init__(
+        self,
+        path: str,
+        fsync: str = "batch",
+        batch_records: int = 8,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {fsync!r}; use one of {FSYNC_POLICIES}"
+            )
+        self.path = path
+        self.fsync = fsync
+        self.batch_records = max(1, batch_records)
+        self._file = open(path, "ab")
+        self._unsynced = 0
+        self._poisoned = False
+        #: per-handle counters (mirrored into metrics by the manager)
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.fsyncs = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def append(self, payload: dict) -> None:
+        """Durably append one record; all-or-nothing.
+
+        On any failure the file is rolled back to its pre-append offset
+        and the error propagates — the caller must not publish the
+        commit.  The ``wal.torn_tail`` fault deliberately skips the
+        rollback (it *is* the simulated crash) and poisons the handle."""
+        if self._poisoned:
+            raise DurabilityError(
+                f"WAL {self.path} poisoned by a simulated crash "
+                "(wal.torn_tail); reopen the database to recover"
+            )
+        faults.check("wal.append")
+        record = encode_record(payload)
+        start = self._file.tell()
+        try:
+            faults.check("wal.torn_tail")
+        except BaseException:
+            # a crash mid-append: half the record reaches the file, and
+            # this process would never write again — poison the handle
+            self._file.write(record[: max(1, len(record) // 2)])
+            self._file.flush()
+            self._poisoned = True
+            raise
+        try:
+            self._file.write(record)
+            self._file.flush()
+            self._unsynced += 1
+            if self.fsync == "always" or (
+                self.fsync == "batch" and self._unsynced >= self.batch_records
+            ):
+                self._fsync()
+        except BaseException:
+            # roll the partial append back so the log stays parseable
+            # and the unacknowledged commit never survives a restart
+            self._file.truncate(start)
+            self._file.seek(start)
+            self._unsynced = 0
+            raise
+        self.records_appended += 1
+        self.bytes_appended += len(record)
+        WriteAheadLog.records_appended_total += 1
+
+    def _fsync(self) -> None:
+        faults.check("wal.fsync")
+        if self.fsync != "off":
+            os.fsync(self._file.fileno())
+        self._unsynced = 0
+        self.fsyncs += 1
+        WriteAheadLog.fsyncs_total += 1
+
+    def sync(self) -> None:
+        """Flush and (policy permitting) fsync any buffered records."""
+        if self._poisoned:
+            return
+        self._file.flush()
+        if self.fsync != "off" and self._unsynced:
+            self._fsync()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def truncate(self) -> None:
+        """Drop every record (checkpoint just superseded them)."""
+        if self._poisoned:
+            raise DurabilityError(
+                f"WAL {self.path} poisoned by a simulated crash "
+                "(wal.torn_tail); reopen the database to recover"
+            )
+        self._file.truncate(0)
+        self._file.seek(0)
+        self._file.flush()
+        if self.fsync != "off":
+            os.fsync(self._file.fileno())
+        self._unsynced = 0
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        if not self._poisoned:
+            self.sync()
+        self._file.close()

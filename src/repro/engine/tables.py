@@ -26,10 +26,16 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Iterable, Iterator, Optional, Sequence, Union
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
 from ..catalog.schema import Index, TableDef
 from ..errors import ExecutionError
+
+#: commit hook signature: called with the fully validated new state and a
+#: zero-argument *publish* closure; the hook decides when (or whether) the
+#: new version becomes visible — the durability layer uses this to log a
+#: WAL record *before* the atomic reference swap
+CommitHook = Callable[[Callable[[], None]], None]
 
 
 class IndexData:
@@ -294,7 +300,9 @@ class TableData:
 
     # -- writes (copy-on-write, all-or-nothing) -----------------------------
 
-    def attach_index(self, index: Index) -> None:
+    def attach_index(
+        self, index: Index, on_commit: Optional[CommitHook] = None
+    ) -> None:
         with self._lock:
             current = self._current
             data = IndexData(index)
@@ -302,23 +310,40 @@ class TableData:
                 data.insert(tuple(row[c] for c in index.columns), row_id)
             indexes = dict(current.indexes)
             indexes[index.name] = data
-            self._current = TableVersion(
-                current.rows, indexes, current.version + 1
-            )
+            version = TableVersion(current.rows, indexes, current.version + 1)
 
-    def insert(self, rows: Iterable[dict]) -> int:
+            def publish() -> None:
+                self._current = version  # staticcheck: ignore[lock.discipline] closure runs under self._lock (held by the enclosing with)
+
+            if on_commit is None:
+                publish()
+            else:
+                on_commit(publish)
+
+    def insert(
+        self,
+        rows: Iterable[dict],
+        on_commit: Optional[Callable[[list[dict], Callable[[], None]], None]] = None,
+    ) -> int:
         """Insert dict rows (missing columns become NULL).
 
         The batch commits atomically: concurrent readers see the table
         before all of the rows or after all of them, and any constraint
-        violation mid-batch leaves the table unchanged."""
+        violation mid-batch leaves the table unchanged.
+
+        When *on_commit* is given it is called — still under the table's
+        write lock, after every row has been validated and indexed — with
+        the normalised batch and a *publish* closure; the new version only
+        becomes visible when the hook invokes the closure.  The durability
+        layer uses this to make the write-ahead-log append and the version
+        swap one atomic commit."""
         with self._lock:
             current = self._current
             new_rows = list(current.rows)
             new_indexes = {
                 name: data.copy() for name, data in current.indexes.items()
             }
-            count = 0
+            batch = []
             for row in rows:
                 normalised = self._normalise(row)
                 row_id = len(new_rows)
@@ -326,11 +351,17 @@ class TableData:
                 for data in new_indexes.values():
                     key = tuple(normalised[c] for c in data.index.columns)
                     data.insert(key, row_id)
-                count += 1
-            self._current = TableVersion(
-                new_rows, new_indexes, current.version + 1
-            )
-            return count
+                batch.append(normalised)
+            version = TableVersion(new_rows, new_indexes, current.version + 1)
+
+            def publish() -> None:
+                self._current = version  # staticcheck: ignore[lock.discipline] closure runs under self._lock (held by the enclosing with)
+
+            if on_commit is None:
+                publish()
+            else:
+                on_commit(batch, publish)
+            return len(batch)
 
     def _normalise(self, row: dict) -> dict:
         normalised = {}
@@ -396,6 +427,11 @@ class Storage:
         with self._lock:
             self._tables[table.name] = data
         return data
+
+    def drop(self, name: str) -> None:
+        """Remove a table's data (DDL-rollback / recovery path only)."""
+        with self._lock:
+            self._tables.pop(name.lower(), None)
 
     def get(self, name: str) -> TableData:
         try:

@@ -107,6 +107,45 @@ class SessionNotFound(ReproError):
     """
 
 
+class DurabilityError(ReproError):
+    """The durable-storage layer (:mod:`repro.durability`) failed: the
+    write-ahead log could not be appended or repaired, a checkpoint
+    could not be written, or an operation required a ``data_dir`` the
+    database was opened without.
+
+    Raised *before* the in-memory state is published, so a failed
+    commit is invisible — the copy-on-write version swap only happens
+    once its WAL record is safely on disk.
+    """
+
+
+class WalCorruption(DurabilityError):
+    """The write-ahead log is damaged beyond the torn-tail contract:
+    an invalid record was found *before* later valid records (a hole in
+    the middle of the log), or the LSN sequence is broken.
+
+    A torn **final** record — the expected signature of a crash during
+    an append — is not corruption; recovery truncates it silently and
+    reports the dropped bytes on the :class:`~repro.durability.RecoveryReport`.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Recovery could not rebuild a consistent database from the data
+    directory: unreadable checkpoint, replay failure, or a
+    ``recover --verify`` differential mismatch."""
+
+
+class ServerShuttingDown(ReproError):
+    """The server front end refused a statement because it is draining
+    for shutdown: in-flight statements finish (within the grace
+    period), new work is refused.
+
+    Maps to HTTP 503 — the client should reconnect elsewhere or retry
+    after the restart; nothing about the statement itself is wrong.
+    """
+
+
 class FaultInjected(ReproError):
     """Raised by the fault-injection harness (:mod:`repro.resilience.faults`).
 

@@ -71,6 +71,20 @@ BATCH_OPERATORS = (
 #: non-transformation, non-executor injection points
 CORE_POINTS = ("cbqt.costing", "plan_cache.lookup", "plan_cache.store")
 
+#: durable-storage injection points (:mod:`repro.durability`):
+#: ``wal.append`` fires before a record is written (commit refused,
+#: nothing persisted), ``wal.fsync`` fires before the flush+fsync (the
+#: buffered record is rolled back), ``wal.torn_tail`` half-writes the
+#: record and poisons the log — simulating a crash mid-append — and
+#: ``checkpoint.write`` fails a checkpoint before its temp file is
+#: written (the previous checkpoint + WAL stay authoritative)
+DURABILITY_POINTS = (
+    "wal.append",
+    "wal.fsync",
+    "wal.torn_tail",
+    "checkpoint.write",
+)
+
 
 def injection_points() -> list[str]:
     """Every registered injection point, in a stable order."""
@@ -82,6 +96,7 @@ def injection_points() -> list[str]:
     points.extend(CORE_POINTS)
     points.extend(f"executor.{name}" for name in EXECUTOR_OPERATORS)
     points.extend(f"executor.batch.{name}" for name in BATCH_OPERATORS)
+    points.extend(DURABILITY_POINTS)
     return points
 
 

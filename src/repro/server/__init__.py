@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from .admission import AdmissionController, ServerConfig
 from .app import ReproServer
-from .http import ReproHTTPServer, make_http_server, serve
+from .http import ReproHTTPServer, make_http_server, run_server, serve
 from .sessions import ServerSession, SessionRegistry
 
 __all__ = [
@@ -24,5 +24,6 @@ __all__ = [
     "ServerSession",
     "SessionRegistry",
     "make_http_server",
+    "run_server",
     "serve",
 ]

@@ -54,6 +54,11 @@ class ServerConfig:
     #: default per-statement wall-clock timeout (None = unbounded);
     #: requests may override per call, sessions per connect
     statement_timeout: Optional[float] = None
+    #: graceful-shutdown drain window: in-flight statements get this many
+    #: seconds to finish before they are cancelled (new statements are
+    #: refused with 503 :class:`~repro.errors.ServerShuttingDown` the
+    #: moment shutdown starts)
+    shutdown_grace: float = 5.0
 
     @property
     def max_pending(self) -> int:

@@ -46,7 +46,12 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Optional
 
 from ..database import Database, OptimizerConfig
-from ..errors import ReproError, SessionNotFound, StatementTimeout
+from ..errors import (
+    ReproError,
+    ServerShuttingDown,
+    SessionNotFound,
+    StatementTimeout,
+)
 from ..resilience import CancelToken
 from ..service import QueryService
 from .admission import AdmissionController, ServerConfig
@@ -76,6 +81,7 @@ class ReproServer:
             thread_name_prefix="repro-worker",
         )
         self._closed = threading.Event()
+        self._draining = threading.Event()
         self._reaper: Optional[threading.Thread] = None
         self.started = time.monotonic()
         metrics = self.database.metrics
@@ -97,6 +103,68 @@ class ReproServer:
         """Stop the reaper and the worker pool (pending work finishes)."""
         self._closed.set()
         self._pool.shutdown(wait=True)
+
+    def shutdown(self, grace: Optional[float] = None) -> dict:
+        """Graceful shutdown: refuse new work, drain or cancel, persist.
+
+        The sequence — the contract SIGTERM/SIGINT ride on:
+
+        1. flip the draining flag, so every subsequent submission is
+           refused with :class:`~repro.errors.ServerShuttingDown` (503);
+        2. wait up to *grace* seconds (default
+           ``config.shutdown_grace``) for in-flight and queued
+           statements to finish on their own;
+        3. statements still pending when the grace window closes get
+           their cancel tokens fired — they unwind with
+           ``StatementCancelled`` at the next cooperative check, so the
+           pool shutdown below cannot hang on a long optimization;
+        4. stop the reaper and the worker pool (waits for the unwound
+           workers);
+        5. if the database is durable, checkpoint it and close the WAL —
+           a restart then recovers from the checkpoint alone.
+
+        Idempotent: a second call returns immediately."""
+        if self._draining.is_set():
+            return {"drained": True, "cancelled": 0, "checkpointed": False}
+        self._draining.set()
+        if grace is None:
+            grace = self.config.shutdown_grace
+        deadline = time.monotonic() + max(grace, 0.0)
+        while self.admission.snapshot()["pending"] > 0:
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(0.02)
+        cancelled = self._cancel_all_sessions()
+        self.close()
+        checkpointed = False
+        manager = self.database.durability
+        if manager is not None and not manager.closed:
+            self.database.checkpoint()
+            self.database.close()
+            checkpointed = True
+        self._count("server.shutdowns")
+        return {
+            "drained": cancelled == 0,
+            "cancelled": cancelled,
+            "checkpointed": checkpointed,
+        }
+
+    def _cancel_all_sessions(self) -> int:
+        """Fire the cancel token of every active and queued statement."""
+        cancelled = 0
+        for session_id in self.sessions.ids():
+            try:
+                session = self.sessions.get(session_id)
+            except SessionNotFound:
+                continue  # reaped or disconnected since ids() snapshot
+            with session.lock:
+                if session.active_token is not None:
+                    session.active_token.cancel()
+                    cancelled += 1
+                for item in session.queue:
+                    item.token.cancel()
+                    cancelled += 1
+        return cancelled
 
     def _reap_loop(self) -> None:
         while not self._closed.wait(self.config.reap_interval):
@@ -270,6 +338,7 @@ class ReproServer:
             "sessions_reaped": self.sessions.reaped_total,
             "uptime_seconds": time.monotonic() - self.started,
             "workers": self.config.workers,
+            "draining": self._draining.is_set(),
             **self.admission.snapshot(),
         }
 
@@ -329,6 +398,10 @@ class ReproServer:
             deadline = time.monotonic() + timeout
         future: Future = Future()
         item = WorkItem(fn, token, future, deadline)
+        if self._draining.is_set():
+            raise ServerShuttingDown(
+                "server is shutting down; no new statements accepted"
+            )
         with session.lock:
             if session.closed:
                 raise SessionNotFound(f"no session {session.id!r}")

@@ -30,6 +30,8 @@ engine's exception taxonomy rather than parse prose:
 :class:`AdmissionRejected`      429 (back off and retry)
 :class:`StatementTimeout`       408
 :class:`StatementCancelled`     409
+:class:`ServerShuttingDown`     503 (graceful shutdown in progress;
+                                reconnect after the restart)
 :class:`VerificationError`      500 (an engine invariant broke — a
                                 server bug, never the client's request)
 other :class:`ReproError`       400
@@ -40,12 +42,15 @@ anything else                   500
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
 from ..errors import (
     AdmissionRejected,
     ReproError,
+    ServerShuttingDown,
     SessionNotFound,
     StatementCancelled,
     StatementTimeout,
@@ -68,6 +73,8 @@ def _status_for(exc: BaseException) -> int:
         return 408
     if isinstance(exc, StatementCancelled):
         return 409
+    if isinstance(exc, ServerShuttingDown):
+        return 503
     if isinstance(exc, VerificationError):
         # an invariant violation is a server-side bug, not a bad request
         return 500
@@ -276,17 +283,48 @@ def make_http_server(
     return server
 
 
+def run_server(
+    server: ReproHTTPServer,
+    grace: Optional[float] = None,
+) -> dict:
+    """Serve until SIGTERM/SIGINT, then shut down gracefully.
+
+    Signal handlers are installed only when running on the main thread
+    (test harnesses drive servers from worker threads, where the stdlib
+    forbids ``signal.signal``).  A handler cannot call
+    ``server.shutdown()`` from the serving thread — that deadlocks — so
+    it hands off to a short-lived helper thread that stops the accept
+    loop; the graceful drain/cancel/checkpoint sequence
+    (:meth:`ReproServer.shutdown`) then runs below, after
+    ``serve_forever`` returns."""
+    app = server.app
+
+    def request_stop(signum: int, frame: object) -> None:
+        threading.Thread(
+            target=server.shutdown, name="repro-shutdown", daemon=True
+        ).start()
+
+    previous = {}
+    on_main = threading.current_thread() is threading.main_thread()
+    if on_main:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, request_stop)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.server_close()
+        outcome = app.shutdown(grace)
+    return outcome
+
+
 def serve(
     app: Optional[ReproServer] = None,
     config: Optional[ServerConfig] = None,
 ) -> None:
     """Blocking entry point: serve until interrupted."""
     app = app or ReproServer(config=config)
-    server = make_http_server(app)
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive only
-        pass
-    finally:
-        server.server_close()
-        app.close()
+    run_server(make_http_server(app))

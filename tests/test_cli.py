@@ -213,3 +213,64 @@ class TestSubcommands:
         monkeypatch.setattr(sys.stdin, "isatty", lambda: True, raising=False)
         assert main(["explain"]) == 2
         assert main(["explain", "SELECT x FROM missing"]) == 1
+
+
+class TestDurabilityVerbs:
+    """``repro checkpoint`` / ``repro recover`` over a real data dir."""
+
+    def test_checkpoint_then_recover_report(self, tmp_path, capsys,
+                                            monkeypatch):
+        import os
+        import sys
+
+        from repro.cli import main
+
+        monkeypatch.setattr(sys.stdin, "isatty", lambda: True, raising=False)
+        data_dir = str(tmp_path / "data")
+        script = tmp_path / "setup.sql"
+        script.write_text(SETUP)
+        assert main(
+            ["checkpoint", "--data-dir", data_dir, str(script)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint written at lsn 1" in out
+        assert os.path.exists(os.path.join(data_dir, "checkpoint.json"))
+
+        assert main(["recover", "--data-dir", data_dir]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint_lsn: 1" in out
+
+        assert main(["recover", "--data-dir", data_dir, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "verification ok" in out
+
+    def test_recover_verify_fails_on_corruption(self, tmp_path, capsys,
+                                                monkeypatch):
+        import os
+        import sys
+
+        from repro.cli import main
+
+        monkeypatch.setattr(sys.stdin, "isatty", lambda: True, raising=False)
+        data_dir = str(tmp_path / "data")
+        script = tmp_path / "setup.sql"
+        script.write_text(SETUP)
+        assert main(["checkpoint", "--data-dir", data_dir, str(script)]) == 0
+        capsys.readouterr()
+        # corrupt the checkpoint: verification must fail loudly
+        with open(os.path.join(data_dir, "checkpoint.json"), "w") as handle:
+            handle.write("{broken")
+        assert main(["recover", "--data-dir", data_dir, "--verify"]) == 1
+        out = capsys.readouterr().out
+        assert "verification FAILED" in out
+
+    def test_usage_errors(self, capsys, monkeypatch):
+        import sys
+
+        from repro.cli import main
+
+        monkeypatch.setattr(sys.stdin, "isatty", lambda: True, raising=False)
+        assert main(["checkpoint"]) == 2
+        assert main(["recover"]) == 2
+        assert main(["recover", "--data-dir"]) == 2
+        assert main(["recover", "--bogus"]) == 2

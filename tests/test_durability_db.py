@@ -1,0 +1,216 @@
+"""Database-level durability integration: the commit protocol under
+fault injection, atomic DDL (the rollback regression), and the
+zero-cost guarantee for in-memory databases.
+
+The invariant every fault test asserts from both sides: an
+*unacknowledged* commit (the call raised) is visible neither in memory
+nor after recovery; an *acknowledged* commit (the call returned)
+survives both.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import Database, DurabilityConfig, FaultSpec, inject
+from repro.durability import WriteAheadLog, read_wal, state_digest
+from repro.errors import CatalogError, DurabilityError, FaultInjected
+
+
+def _open(tmp_path, fsync: str = "off") -> Database:
+    return Database(
+        data_dir=str(tmp_path / "data"),
+        durability=DurabilityConfig(fsync=fsync),
+    )
+
+
+def _seeded(db: Database) -> Database:
+    db.execute_ddl("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    db.insert("t", [{"id": i, "v": i % 3} for i in range(20)])
+    return db
+
+
+class TestConfiguration:
+    def test_durability_config_requires_data_dir(self):
+        with pytest.raises(DurabilityError, match="data_dir"):
+            Database(durability=DurabilityConfig())
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(DurabilityError, match="fsync policy"):
+            Database(
+                data_dir=str(tmp_path / "data"),
+                durability=DurabilityConfig(fsync="mostly"),
+            )
+
+    def test_in_memory_database_never_touches_the_wal(self):
+        """Structural zero-cost check: a full in-memory workload leaves
+        the process-wide WAL counters untouched."""
+        before = WriteAheadLog.records_appended_total
+        db = _seeded(Database())
+        db.analyze()
+        assert db.durability is None and db.recovery is None
+        assert WriteAheadLog.records_appended_total == before
+
+    def test_checkpoint_requires_data_dir(self):
+        with pytest.raises(DurabilityError, match="data_dir"):
+            Database().checkpoint()
+
+    def test_close_is_idempotent(self, tmp_path):
+        db = _open(tmp_path)
+        db.close()
+        db.close()
+        Database().close()  # in-memory close is a no-op
+
+
+class TestAtomicDdl:
+    """Satellite regression: a failed CREATE must leave no catalog or
+    storage residue — before this PR the catalog entry leaked."""
+
+    def test_in_memory_create_table_rolls_back_catalog(self, monkeypatch):
+        db = Database()
+        real_create = db.storage.create
+
+        def explode(table):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(db.storage, "create", explode)
+        with pytest.raises(RuntimeError):
+            db.execute_ddl("CREATE TABLE t (id INT PRIMARY KEY)")
+        assert not db.catalog.has_table("t")
+        monkeypatch.setattr(db.storage, "create", real_create)
+        db.execute_ddl("CREATE TABLE t (id INT PRIMARY KEY)")  # now clean
+        assert db.catalog.has_table("t")
+
+    def test_durable_create_table_rolls_back_on_wal_fault(self, tmp_path):
+        db = _open(tmp_path)
+        with inject(FaultSpec(point="wal.append", at=1)):
+            with pytest.raises(FaultInjected):
+                db.execute_ddl("CREATE TABLE t (id INT PRIMARY KEY)")
+        assert not db.catalog.has_table("t")
+        assert not db.storage.has("t")
+        db.execute_ddl("CREATE TABLE t (id INT PRIMARY KEY)")
+        db.close()
+        db2 = _open(tmp_path)
+        assert db2.catalog.has_table("t")
+        assert db2.recovery.wal_records_applied == 1
+        db2.close()
+
+    def test_durable_create_index_rolls_back_on_wal_fault(self, tmp_path):
+        db = _seeded(_open(tmp_path))
+        before = state_digest(db)
+        with inject(FaultSpec(point="wal.append", at=1)):
+            with pytest.raises(FaultInjected):
+                db.execute_ddl("CREATE INDEX t_v ON t (v)")
+        assert "t_v" not in db.catalog.indexes
+        assert state_digest(db) == before
+        db.execute_ddl("CREATE INDEX t_v ON t (v)")
+        db.close()
+        db2 = _open(tmp_path)
+        assert "t_v" in db2.catalog.indexes
+        db2.close()
+
+    def test_duplicate_table_still_refused(self, tmp_path):
+        db = _seeded(_open(tmp_path))
+        with pytest.raises(CatalogError):
+            db.execute_ddl("CREATE TABLE t (id INT PRIMARY KEY)")
+        db.close()
+        # the failed DDL logged nothing: replay sees exactly 2 records
+        db2 = _open(tmp_path)
+        assert db2.recovery.wal_records_applied == 2
+        db2.close()
+
+
+class TestCommitFaults:
+    def test_insert_rolls_back_on_wal_fault(self, tmp_path):
+        db = _seeded(_open(tmp_path))
+        before = state_digest(db)
+        with inject(FaultSpec(point="wal.append", at=1)):
+            with pytest.raises(FaultInjected):
+                db.insert("t", [{"id": 100, "v": 1}, {"id": 101, "v": 2}])
+        assert state_digest(db) == before  # no partial batch visible
+        assert db.storage.get("t").row_count == 20
+        db.insert("t", [{"id": 100, "v": 1}])  # WAL stays healthy
+        db.close()
+        db2 = _open(tmp_path)
+        assert db2.storage.get("t").row_count == 21
+        db2.close()
+
+    def test_insert_rolls_back_on_fsync_fault(self, tmp_path):
+        db = _seeded(_open(tmp_path, fsync="always"))
+        with inject(FaultSpec(point="wal.fsync", at=1)):
+            with pytest.raises(FaultInjected):
+                db.insert("t", [{"id": 100, "v": 1}])
+        assert db.storage.get("t").row_count == 20
+        db.close()
+        db2 = _open(tmp_path, fsync="always")
+        assert db2.storage.get("t").row_count == 20
+        db2.close()
+
+    def test_torn_tail_crash_loses_only_the_unacked_commit(self, tmp_path):
+        db = _seeded(_open(tmp_path))
+        before = state_digest(db)
+        with inject(FaultSpec(point="wal.torn_tail", at=1)):
+            with pytest.raises(FaultInjected):
+                db.insert("t", [{"id": 100, "v": 1}])
+        # the handle is poisoned: this process can no longer commit
+        with pytest.raises(DurabilityError, match="poisoned"):
+            db.insert("t", [{"id": 101, "v": 1}])
+        db.close()
+        # ... but recovery truncates the torn record and carries on
+        db2 = _open(tmp_path)
+        assert db2.recovery.torn_bytes_dropped > 0
+        assert state_digest(db2) == before
+        db2.insert("t", [{"id": 100, "v": 1}])
+        db2.close()
+
+    def test_analyze_failure_logs_nothing(self, tmp_path):
+        from repro.errors import ReproError
+
+        db = _seeded(_open(tmp_path))
+        wal_path = db.durability.wal_path
+        records_before = len(read_wal(wal_path).records)
+        with pytest.raises(ReproError):
+            db.analyze("missing_table")
+        assert len(read_wal(wal_path).records) == records_before
+        db.close()
+
+    def test_checkpoint_write_fault_preserves_wal(self, tmp_path):
+        db = _seeded(_open(tmp_path))
+        wal_path = db.durability.wal_path
+        wal_size = os.path.getsize(wal_path)
+        with inject(FaultSpec(point="checkpoint.write", at=1)):
+            with pytest.raises(FaultInjected):
+                db.checkpoint()
+        # checkpoint failed before writing: WAL untouched, no snapshot
+        assert os.path.getsize(wal_path) == wal_size
+        assert not os.path.exists(db.durability.checkpoint_path)
+        before = state_digest(db)
+        db.checkpoint()  # retry succeeds
+        db.close()
+        db2 = _open(tmp_path)
+        assert state_digest(db2) == before
+        db2.close()
+
+    def test_commit_after_close_refused(self, tmp_path):
+        db = _seeded(_open(tmp_path))
+        db.close()
+        with pytest.raises(DurabilityError, match="closed"):
+            db.insert("t", [{"id": 100, "v": 1}])
+
+
+class TestMetricsIntegration:
+    def test_durability_collector_registered(self, tmp_path):
+        db = _seeded(_open(tmp_path, fsync="always"))
+        snapshot = db.snapshot()
+        stats = snapshot["durability"]
+        assert stats["lsn"] == 2
+        assert stats["wal_records"] == 2
+        assert stats["fsync"] == "always"
+        assert stats["wal_fsyncs"] >= 2
+        counters = snapshot["counters"]
+        assert counters.get("durability.wal_records") == 2
+        db.checkpoint()
+        assert db.snapshot()["counters"].get("durability.checkpoints") == 1
+        db.close()

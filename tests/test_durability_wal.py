@@ -1,0 +1,222 @@
+"""Unit tests for the WAL record format, scanner, and append handle.
+
+The crash-consistency contract under test:
+
+* a torn *final* record (crash mid-append) is detected byte-for-byte —
+  every possible truncation point of the last record reads back as the
+  intact prefix plus a reported torn tail, and ``repair_wal`` drops it;
+* mid-file damage (a bit flip, an LSN hole, a valid record after an
+  invalid region) is *refused* with ``WalCorruption``, never silently
+  repaired — repairing it would drop an acknowledged commit;
+* a failed append rolls the file back to its pre-append offset, so an
+  unacknowledged commit cannot survive a restart.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import FaultSpec, inject
+from repro.durability import WalReadResult, WriteAheadLog, read_wal, repair_wal
+from repro.durability.wal import HEADER_BYTES, encode_record
+from repro.errors import DurabilityError, FaultInjected, WalCorruption
+
+
+def _write_records(path: str, n: int, fsync: str = "off") -> list[dict]:
+    wal = WriteAheadLog(path, fsync=fsync)
+    payloads = [{"lsn": i + 1, "op": "insert", "n": i * 10} for i in range(n)]
+    for payload in payloads:
+        wal.append(payload)
+    wal.close()
+    return payloads
+
+
+class TestFormat:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        payloads = _write_records(path, 5)
+        result = read_wal(path)
+        assert result.records == payloads
+        assert result.torn_bytes == 0
+        assert result.valid_bytes == os.path.getsize(path)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        result = read_wal(str(tmp_path / "nope.jsonl"))
+        assert result == WalReadResult()
+
+    def test_empty_file_is_empty(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        open(path, "wb").close()
+        result = read_wal(path)
+        assert result.records == [] and result.torn_bytes == 0
+
+    def test_record_is_greppable_one_line_ascii(self):
+        record = encode_record({"lsn": 1, "op": "insert", "v": "x"})
+        assert record.endswith(b"\n")
+        assert record.count(b"\n") == 1
+        assert record[:HEADER_BYTES].decode("ascii")
+
+
+class TestTornTail:
+    """Every byte-level truncation of the final record must read back
+    as the intact prefix; the parametrization sweeps the whole record —
+    header, payload, checksum, and the trailing newline."""
+
+    @pytest.fixture()
+    def two_plus_one(self, tmp_path):
+        """A log with two intact records; returns (path, keep_bytes,
+        total_bytes) where keep_bytes is the offset of record three."""
+        path = str(tmp_path / "wal.jsonl")
+        _write_records(path, 2)
+        keep = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(encode_record({"lsn": 3, "op": "insert", "n": 30}))
+        return path, keep, os.path.getsize(path)
+
+    @pytest.mark.parametrize("drop", range(1, 40))
+    def test_chop_any_tail_byte(self, two_plus_one, drop):
+        path, keep, total = two_plus_one
+        cut = total - drop
+        if cut <= keep:
+            pytest.skip("chop reaches into intact records")
+        with open(path, "r+b") as handle:
+            handle.truncate(cut)
+        result = read_wal(path)
+        assert [r["lsn"] for r in result.records] == [1, 2]
+        assert result.valid_bytes == keep
+        assert result.torn_bytes == cut - keep
+
+    def test_repair_truncates_and_is_idempotent(self, two_plus_one):
+        path, keep, total = two_plus_one
+        with open(path, "r+b") as handle:
+            handle.truncate(total - 3)
+        first = repair_wal(path)
+        assert first.torn_bytes == total - 3 - keep
+        assert os.path.getsize(path) == keep
+        again = repair_wal(path)
+        assert again.torn_bytes == 0
+        assert [r["lsn"] for r in again.records] == [1, 2]
+
+    def test_append_resumes_after_repair(self, two_plus_one):
+        path, keep, total = two_plus_one
+        with open(path, "r+b") as handle:
+            handle.truncate(total - 5)
+        repair_wal(path)
+        wal = WriteAheadLog(path, fsync="off")
+        wal.append({"lsn": 3, "op": "insert", "n": 99})
+        wal.close()
+        assert [r["lsn"] for r in read_wal(path).records] == [1, 2, 3]
+
+
+class TestCorruption:
+    def test_bit_flip_mid_file_refused(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        _write_records(path, 3)
+        with open(path, "r+b") as handle:
+            data = bytearray(handle.read())
+            data[HEADER_BYTES + 2] ^= 0xFF  # inside record 1's payload
+            handle.seek(0)
+            handle.write(bytes(data))
+        with pytest.raises(WalCorruption, match="mid-file corruption"):
+            read_wal(path)
+        with pytest.raises(WalCorruption):
+            repair_wal(path)  # refuse to repair; never drop valid records
+
+    def test_lsn_hole_refused(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        with open(path, "ab") as handle:
+            handle.write(encode_record({"lsn": 1, "op": "insert"}))
+            handle.write(encode_record({"lsn": 3, "op": "insert"}))
+        with pytest.raises(WalCorruption, match="LSN jumped"):
+            read_wal(path)
+
+    def test_trailing_garbage_without_valid_record_is_torn(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        _write_records(path, 2)
+        keep = os.path.getsize(path)
+        with open(path, "ab") as handle:
+            handle.write(b"garbage that is not a record\n")
+        result = read_wal(path)
+        assert len(result.records) == 2
+        assert result.torn_bytes == os.path.getsize(path) - keep
+
+
+class TestAppendHandle:
+    def test_fsync_policy_counting(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path, fsync="batch", batch_records=3)
+        for i in range(7):
+            wal.append({"lsn": i + 1, "op": "insert"})
+        assert wal.fsyncs == 2  # after records 3 and 6
+        wal.sync()
+        assert wal.fsyncs == 3  # the straggler
+        wal.close()
+
+    def test_always_policy_fsyncs_every_record(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "wal.jsonl"), fsync="always")
+        for i in range(4):
+            wal.append({"lsn": i + 1, "op": "insert"})
+        assert wal.fsyncs == 4
+        wal.close()
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(DurabilityError, match="fsync policy"):
+            WriteAheadLog(str(tmp_path / "wal.jsonl"), fsync="sometimes")
+
+    def test_append_fault_rolls_back(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path, fsync="off")
+        wal.append({"lsn": 1, "op": "insert"})
+        size_before = os.path.getsize(path)
+        with inject(FaultSpec(point="wal.append", at=1)):
+            with pytest.raises(FaultInjected):
+                wal.append({"lsn": 2, "op": "insert"})
+        # the handle stays usable and the file offset was restored
+        wal.append({"lsn": 2, "op": "insert"})
+        wal.close()
+        assert os.path.getsize(path) > size_before
+        assert [r["lsn"] for r in read_wal(path).records] == [1, 2]
+
+    def test_fsync_fault_rolls_back_record(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path, fsync="always")
+        wal.append({"lsn": 1, "op": "insert"})
+        with inject(FaultSpec(point="wal.fsync", at=1)):
+            with pytest.raises(FaultInjected):
+                wal.append({"lsn": 2, "op": "insert"})
+        assert [r["lsn"] for r in read_wal(path).records] == [1]
+        wal.append({"lsn": 2, "op": "insert"})
+        wal.close()
+        assert [r["lsn"] for r in read_wal(path).records] == [1, 2]
+
+    def test_torn_tail_fault_poisons_handle(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path, fsync="off")
+        wal.append({"lsn": 1, "op": "insert"})
+        with inject(FaultSpec(point="wal.torn_tail", at=1)):
+            with pytest.raises(FaultInjected):
+                wal.append({"lsn": 2, "op": "insert"})
+        with pytest.raises(DurabilityError, match="poisoned"):
+            wal.append({"lsn": 3, "op": "insert"})
+        with pytest.raises(DurabilityError, match="poisoned"):
+            wal.truncate()
+        wal.close()
+        # the half-written record on disk reads back as a torn tail
+        result = read_wal(path)
+        assert [r["lsn"] for r in result.records] == [1]
+        assert result.torn_bytes > 0
+        repaired = repair_wal(path)
+        assert repaired.torn_bytes > 0
+        assert read_wal(path).torn_bytes == 0
+
+    def test_truncate_drops_all_records(self, tmp_path):
+        path = str(tmp_path / "wal.jsonl")
+        wal = WriteAheadLog(path, fsync="off")
+        for i in range(3):
+            wal.append({"lsn": i + 1, "op": "insert"})
+        wal.truncate()
+        wal.append({"lsn": 4, "op": "insert"})
+        wal.close()
+        assert [r["lsn"] for r in read_wal(path).records] == [4]

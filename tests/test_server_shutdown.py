@@ -1,0 +1,211 @@
+"""Graceful-shutdown tests for the serving front end.
+
+The shutdown contract: the draining flag refuses new statements with
+503 semantics, in-flight work gets the grace window then a cooperative
+cancel, the pool closes without hanging, and a durable database is
+checkpointed so the next open recovers from the snapshot alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Database, DurabilityConfig
+from repro.errors import ServerShuttingDown, StatementCancelled
+from repro.server import ReproServer, ServerConfig
+from repro.server.http import _status_for, make_http_server
+
+#: non-equi cross join sized to run for seconds unless cancelled
+SLOW_ROWS = 900
+SLOW_SQL = "SELECT COUNT(*) FROM big a, big b WHERE a.id + b.id < 0"
+
+
+def _slow_db() -> Database:
+    db = Database()
+    db.execute_ddl("CREATE TABLE big (id INT PRIMARY KEY, v INT)")
+    db.insert("big", [{"id": i, "v": i % 7} for i in range(SLOW_ROWS)])
+    db.analyze()
+    return db
+
+
+class TestShutdownApp:
+    def test_idle_shutdown_drains_immediately(self):
+        app = ReproServer(database=_slow_db())
+        sid = app.connect()["session_id"]
+        app.execute(sid, sql="SELECT COUNT(*) FROM big")
+        outcome = app.shutdown(grace=5.0)
+        assert outcome == {
+            "drained": True, "cancelled": 0, "checkpointed": False,
+        }
+
+    def test_draining_refuses_new_statements(self):
+        app = ReproServer(database=_slow_db())
+        sid = app.connect()["session_id"]
+        app.shutdown(grace=0.0)
+        with pytest.raises(ServerShuttingDown):
+            app.execute(sid, sql="SELECT COUNT(*) FROM big")
+        assert app.stats()["draining"] is True
+
+    def test_expired_grace_cancels_in_flight_statement(self):
+        app = ReproServer(database=_slow_db())
+        sid = app.connect()["session_id"]
+        errors: list[BaseException] = []
+
+        def run_slow() -> None:
+            try:
+                app.execute(sid, sql=SLOW_SQL)
+            except BaseException as exc:  # noqa: B036 - recorded for assert
+                errors.append(exc)
+
+        worker = threading.Thread(target=run_slow)
+        worker.start()
+        deadline = time.monotonic() + 10
+        while app.admission.snapshot()["running"] == 0:
+            assert time.monotonic() < deadline, "statement never started"
+            time.sleep(0.01)
+        started = time.monotonic()
+        outcome = app.shutdown(grace=0.2)
+        elapsed = time.monotonic() - started
+        worker.join(timeout=10)
+        assert not worker.is_alive()
+        assert outcome["cancelled"] >= 1
+        assert outcome["drained"] is False
+        assert elapsed < 8, f"shutdown hung {elapsed:.1f}s on a slow statement"
+        assert len(errors) == 1 and isinstance(errors[0], StatementCancelled)
+
+    def test_shutdown_is_idempotent(self):
+        app = ReproServer(database=_slow_db())
+        first = app.shutdown(grace=0.0)
+        second = app.shutdown(grace=0.0)
+        assert second["cancelled"] == 0
+        assert first["checkpointed"] is False
+
+    def test_shutdown_checkpoints_durable_database(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+        db = Database(
+            data_dir=data_dir, durability=DurabilityConfig(fsync="off")
+        )
+        app = ReproServer(database=db)
+        sid = app.connect()["session_id"]
+        app.ddl(sid, "CREATE TABLE t (id INT PRIMARY KEY)")
+        app.insert(sid, "t", [{"id": 1}, {"id": 2}])
+        outcome = app.shutdown()
+        assert outcome["checkpointed"] is True
+        assert db.durability.closed
+        assert os.path.exists(os.path.join(data_dir, "checkpoint.json"))
+        # the next open recovers from the checkpoint alone
+        db2 = Database(
+            data_dir=data_dir, durability=DurabilityConfig(fsync="off")
+        )
+        assert db2.recovery.checkpoint_rows == 2
+        assert db2.recovery.wal_records_total == 0
+        db2.close()
+
+    def test_status_maps_shutting_down_to_503(self):
+        assert _status_for(ServerShuttingDown("draining")) == 503
+
+
+class TestShutdownHttp:
+    def test_draining_server_returns_503(self):
+        app = ReproServer(database=_slow_db())
+        server = make_http_server(app, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            request = urllib.request.Request(
+                base + "/sessions", data=b"{}", method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                sid = json.loads(response.read())["session_id"]
+            app.shutdown(grace=0.0)
+            body = json.dumps({"sql": "SELECT COUNT(*) FROM big"}).encode()
+            request = urllib.request.Request(
+                f"{base}/sessions/{sid}/execute", data=body, method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read())
+            assert payload["error"]["type"] == "ServerShuttingDown"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+
+class TestSignalDrivenShutdown:
+    """End to end through ``python -m repro serve --data-dir``: SIGTERM
+    must drain, checkpoint, and exit 0; the directory must then pass
+    ``recover --verify``."""
+
+    @pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+    def test_signal_checkpoints_and_exits_clean(self, tmp_path, signum):
+        data_dir = str(tmp_path / "data")
+        script = tmp_path / "setup.sql"
+        script.write_text("CREATE TABLE t (id INT PRIMARY KEY, v INT);\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(p for p in [
+            os.path.join(os.path.dirname(__file__), "..", "src"),
+            env.get("PYTHONPATH"),
+        ] if p)
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
+             "--data-dir", data_dir, "--grace", "3", str(script)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            port = None
+            for line in proc.stdout:
+                if "serving on" in line:
+                    port = int(
+                        line.split("http://")[1].split(" ")[0].rsplit(":", 1)[1]
+                    )
+                    break
+            assert port is not None, "server never came up"
+            body = json.dumps({}).encode()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/sessions", data=body, method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                sid = json.loads(response.read())["session_id"]
+            body = json.dumps(
+                {"table": "t", "rows": [{"id": 1, "v": 7}]}
+            ).encode()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/sessions/{sid}/insert", data=body,
+                method="POST", headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert json.loads(response.read())["inserted"] == 1
+            proc.send_signal(signum)
+            out, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)
+        assert proc.returncode == 0, f"serve exited {proc.returncode}: {out}"
+        assert "checkpoint written" in out
+        assert os.path.exists(os.path.join(data_dir, "checkpoint.json"))
+        verify = subprocess.run(
+            [sys.executable, "-m", "repro", "recover", "--data-dir", data_dir,
+             "--verify"],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert verify.returncode == 0, verify.stdout + verify.stderr
+        assert "verification ok" in verify.stdout
