@@ -88,4 +88,6 @@ def test_fig3_unnesting(benchmark, apps, complex_queries, mixed_queries):
     # and it benefits the most expensive queries more (paper's key shape)
     assert top5 >= overall
     assert stats.degraded_percent_of_queries < 50.0
-    assert opt_increase > 0.0
+    # the subplan memo serves most of the treated parse's join cores
+    # (see bench_fig2): the pre-memo value here was ~44%
+    assert opt_increase < 40.0

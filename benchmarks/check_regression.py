@@ -57,6 +57,21 @@ DIRECTIONS = {
     "durability_replay_rows_per_sec": "higher",
     "durability_replay_records_per_sec": "higher",
     "durability_checkpoint_load_rows_per_sec": "higher",
+    # subplan-memo effectiveness (deterministic counters from the
+    # optimizer; a drop means states stopped sharing physical subplans)
+    "memo_hit_rate_percent": "higher",
+    "memo_join_enumerations_saved": "higher",
+}
+
+#: per-metric tolerance overrides (percent), tighter than the blanket
+#: default.  optimization_time_increase_percent is the memo's headline
+#: win — it is deterministic (fresh join-order enumerations, no wall
+#: clock), so any backslide beyond 10% is a real sharing regression,
+#: not machine noise.
+TOLERANCES = {
+    "optimization_time_increase_percent": 10.0,
+    "memo_hit_rate_percent": 10.0,
+    "memo_join_enumerations_saved": 10.0,
 }
 
 
@@ -89,7 +104,6 @@ def check(tolerance_percent: float, only: str | None = None) -> int:
             print(f"error: no baselines match --only {only}", file=sys.stderr)
             return 2
     results = load_results()
-    tolerance = tolerance_percent / 100.0
     failures: list[str] = []
     checked = 0
 
@@ -112,21 +126,25 @@ def check(tolerance_percent: float, only: str | None = None) -> int:
             checked += 1
             drift = relative_delta(base_value, new_value)
             direction = DIRECTIONS.get(metric, "either")
+            allowed_percent = min(
+                TOLERANCES.get(metric, tolerance_percent), tolerance_percent
+            )
+            allowed = allowed_percent / 100.0
             worse = (
-                (direction == "higher" and drift < -tolerance)
-                or (direction == "lower" and drift > tolerance)
-                or (direction == "either" and abs(drift) > tolerance)
+                (direction == "higher" and drift < -allowed)
+                or (direction == "lower" and drift > allowed)
+                or (direction == "either" and abs(drift) > allowed)
             )
             marker = "FAIL" if worse else "ok"
             print(
                 f"  [{marker:>4}] {bench}.{metric}: "
                 f"{base_value} -> {new_value} ({drift * 100:+.1f}%, "
-                f"{direction} is better)"
+                f"{direction} is better, ±{allowed_percent:.0f}%)"
             )
             if worse:
                 failures.append(
                     f"{bench}.{metric}: {base_value} -> {new_value} "
-                    f"({drift * 100:+.1f}% beyond {tolerance_percent:.0f}%)"
+                    f"({drift * 100:+.1f}% beyond {allowed_percent:.0f}%)"
                 )
 
     print(f"\n{checked} metrics checked against {BASELINES.name}")

@@ -153,6 +153,15 @@ class OptimizationReport:
     quarantined: list[str] = field(default_factory=list)
     #: search-governor accounting (None when no governor was armed)
     governor: Optional[GovernorStats] = None
+    #: blocks the physical optimizer actually planned for this statement
+    blocks_optimized: int = 0
+    #: fresh join-order enumerations run (memo hits skip the enumerator,
+    #: so this — not total_states — is the optimization-time currency)
+    join_enumerations: int = 0
+    #: cross-statement memo hits at the node tier (whole subplans reused)
+    memo_hits: int = 0
+    #: cross-statement memo hits at the join tier (join orders reused)
+    memo_join_hits: int = 0
 
     def decision_for(self, name: str) -> Optional[TransformationDecision]:
         for decision in self.decisions:
@@ -164,7 +173,11 @@ class OptimizationReport:
 class CbqtFramework:
     """One instance per Database; stateless across queries apart from the
     shared physical optimizer (whose annotation store the framework clears
-    per query, keeping it only across states — §3.4.3)."""
+    per query, keeping it only across states — §3.4.3).  When the physical
+    optimizer carries a :class:`~repro.optimizer.memo.MemoSession`, reuse
+    additionally crosses statements: identical subtrees and join cores
+    recur across CBQT search states and hard parses, and the memo serves
+    their optimized subplans without re-running join-order enumeration."""
 
     def __init__(
         self,
@@ -197,6 +210,12 @@ class CbqtFramework:
         report = OptimizationReport(heuristic_mode=not config.enabled)
         started = time.perf_counter()
         self._physical.annotations.clear()
+        counters = self._physical.counters
+        blocks_before = counters.blocks_optimized
+        enumerations_before = counters.join_orders_considered
+        memo = self._physical.memo
+        memo_hits_before = memo.hits if memo is not None else 0
+        memo_join_before = memo.join_hits if memo is not None else 0
 
         auditor = self._auditor
         if auditor is not None:
@@ -228,6 +247,24 @@ class CbqtFramework:
             report.governor = self._governor.stats()
         report.transformed_sql = root.to_sql()
         report.final_cost = plan.cost
+        report.blocks_optimized = counters.blocks_optimized - blocks_before
+        report.join_enumerations = (
+            counters.join_orders_considered - enumerations_before
+        )
+        if memo is not None:
+            report.memo_hits = memo.hits - memo_hits_before
+            report.memo_join_hits = memo.join_hits - memo_join_before
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "cbqt.memo",
+                    hits=report.memo_hits,
+                    join_hits=report.memo_join_hits,
+                    stores=memo.stores,
+                    join_stores=memo.join_stores,
+                    shared_operators=memo.shared_operators,
+                    max_share_depth=memo.max_share_depth,
+                    active=memo.active,
+                )
         report.elapsed_seconds = time.perf_counter() - started
         return root, plan, report
 
@@ -343,8 +380,13 @@ class CbqtFramework:
             prune: Optional[str],
             hits_before: int = -1,
             misses_before: int = -1,
+            memo_before: int = -1,
         ) -> None:
             stats = self._physical.annotations.stats
+            memo = self._physical.memo
+            memo_hits = 0
+            if memo is not None and memo_before >= 0:
+                memo_hits = memo.hits + memo.join_hits - memo_before
             assert tracer is not None
             tracer.emit(
                 "cbqt.state",
@@ -358,6 +400,7 @@ class CbqtFramework:
                 annotation_misses=(
                     stats.misses - misses_before if misses_before >= 0 else 0
                 ),
+                memo_hits=memo_hits,
             )
 
         def cost_fn(state: tuple[int, ...]) -> float:
@@ -377,6 +420,10 @@ class CbqtFramework:
             if tracer is not None:
                 before = self._physical.annotations.stats
                 hits_before, misses_before = before.hits, before.misses
+                memo = self._physical.memo
+                memo_before = (
+                    memo.hits + memo.join_hits if memo is not None else -1
+                )
             # VerificationError deliberately escapes this net: a state
             # whose rewrite corrupted the tree must abort the search, not
             # be silently costed at infinity.  So does everything that is
@@ -393,14 +440,14 @@ class CbqtFramework:
                 if tracer is not None:
                     trace_state(
                         state, math.inf, "cost-cutoff",
-                        hits_before, misses_before,
+                        hits_before, misses_before, memo_before,
                     )
                 return math.inf
             except (TransformError, OptimizerError):
                 if tracer is not None:
                     trace_state(
                         state, math.inf, "infeasible",
-                        hits_before, misses_before,
+                        hits_before, misses_before, memo_before,
                     )
                 return math.inf
             if self._auditor is not None:
@@ -409,7 +456,8 @@ class CbqtFramework:
                 best_so_far[0] = plan.cost
             if tracer is not None:
                 trace_state(
-                    state, plan.cost, None, hits_before, misses_before
+                    state, plan.cost, None,
+                    hits_before, misses_before, memo_before,
                 )
             return plan.cost
 

@@ -63,10 +63,13 @@ checkpoint --data-dir DIR [script ...]`` recovers a data directory,
 runs the scripts, and writes a checkpoint, ``python -m repro recover
 --data-dir DIR [--verify]`` recovers a data directory and prints the
 recovery report (``--verify`` replays it read-only into two replicas
-and exits 1 on divergence or corruption), and ``python -m repro
+and exits 1 on divergence or corruption), ``python -m repro
 staticcheck [--json] [--verbose]`` runs the project-aware static
 analyzer (:mod:`repro.staticcheck`) and exits 1 on any finding not in
-the committed baseline.
+the committed baseline, and ``python -m repro plan-digest [--update]``
+optimizes the paper-query corpus and compares each chosen plan's
+structural digest against the committed golden file (the plan-stability
+CI gate; ``--update`` rewrites it).
 """
 
 from __future__ import annotations
@@ -772,6 +775,102 @@ def _cmd_staticcheck(args: list[str], shell: Shell) -> int:
     return staticcheck_main(args, echo=shell.echo)
 
 
+def _load_corpus(path: str) -> dict:
+    """Load the paper-query corpus (the ``ALL_RUNNABLE`` dict) from a
+    module file — kept in tests/ as the single source of truth."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("plan_digest_corpus", path)
+    if spec is None or spec.loader is None:
+        raise OSError(f"cannot load corpus module {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return dict(module.ALL_RUNNABLE)
+
+
+def _cmd_plan_digest(args: list[str], shell: Shell) -> int:
+    """``repro plan-digest [--update] [--corpus FILE] [--golden FILE]``
+    — optimize the paper-query corpus against the seeded HR database and
+    compare each chosen plan's structural digest (join order, access
+    paths, predicate placement — no costs) with the committed golden
+    file.  Any difference exits 1: the plan-stability CI gate.  With
+    ``--update`` the golden file is rewritten instead."""
+    import json
+
+    from .workload import hr_database
+    from .workload.plan_digest import corpus_digests
+
+    corpus_path = "tests/paper_queries.py"
+    golden_path = "tests/golden/plan_digests.json"
+    update = False
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--update":
+            update = True
+            i += 1
+        elif arg in ("--corpus", "--golden"):
+            if i + 1 >= len(args):
+                shell.echo(f"usage: plan-digest ... {arg} FILE")
+                return 2
+            if arg == "--corpus":
+                corpus_path = args[i + 1]
+            else:
+                golden_path = args[i + 1]
+            i += 2
+        else:
+            shell.echo(f"error: unknown argument {arg}")
+            return 2
+    try:
+        queries = _load_corpus(corpus_path)
+    except OSError as exc:
+        shell.echo(f"error: {exc}")
+        return 1
+    db = hr_database(scale=1, seed=42)
+    digests = corpus_digests(db, queries)
+    memo = db.snapshot().get("plan_memo", {})
+    shell.echo(
+        f"digested {len(digests)} plans "
+        f"(memo {'on' if db.config.plan_memo else 'off'}, "
+        f"hit rate {memo.get('hit_rate', 0.0):.0%})"
+    )
+    if update:
+        with open(golden_path, "w") as handle:
+            json.dump(digests, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        shell.echo(f"golden file updated: {golden_path}")
+        return 0
+    try:
+        with open(golden_path) as handle:
+            golden = json.load(handle)
+    except OSError as exc:
+        shell.echo(f"error: cannot read golden file: {exc}")
+        shell.echo("run 'python -m repro plan-digest --update' to create it")
+        return 1
+    changed = sorted(
+        name for name in set(golden) | set(digests)
+        if golden.get(name) != digests.get(name)
+    )
+    if not changed:
+        shell.echo(f"plan stability ok: {len(digests)} plans match {golden_path}")
+        return 0
+    for name in changed:
+        shell.echo(f"PLAN CHANGED: {name}")
+        before = (golden.get(name) or "<absent>").splitlines()
+        after = (digests.get(name) or "<absent>").splitlines()
+        import difflib
+
+        for line in difflib.unified_diff(
+            before, after, fromfile="golden", tofile="current", lineterm=""
+        ):
+            shell.echo(f"  {line}")
+    shell.echo(
+        f"plan stability FAILED: {len(changed)} of {len(digests)} plans "
+        f"differ from {golden_path}"
+    )
+    return 1
+
+
 SUBCOMMANDS = {
     "cache-stats": _cmd_cache_stats,
     "check": _cmd_check,
@@ -779,6 +878,7 @@ SUBCOMMANDS = {
     "explain": _cmd_explain,
     "explain-analyze": _cmd_explain_analyze,
     "metrics": _cmd_metrics,
+    "plan-digest": _cmd_plan_digest,
     "quarantine": _cmd_quarantine,
     "recover": _cmd_recover,
     "serve": _cmd_serve,

@@ -55,10 +55,11 @@ from .obs import (
 )
 from .optimizer.annotations import AnnotationStore
 from .optimizer.costmodel import DEFAULT_COST_MODEL, CostModel
+from .optimizer.memo import MemoSession, PlanMemo
 from .optimizer.physical import OptimizerCounters, PhysicalOptimizer
 from .optimizer.plans import Plan
 from .qtree import build_query_tree
-from .qtree.binds import apply_peeks
+from .qtree.binds import apply_peeks, has_peeked_binds
 from .qtree.blocks import QueryNode
 from .resilience import (
     CancelToken,
@@ -86,6 +87,15 @@ def _default_executor_mode() -> str:
             f"REPRO_EXEC={mode!r} is not one of {'/'.join(EXECUTOR_MODES)}"
         )
     return mode
+
+
+def _env_memo_enabled() -> bool:
+    """Default for :attr:`OptimizerConfig.plan_memo`, from ``REPRO_MEMO``
+    (the plan-stability CI job runs a leg with ``REPRO_MEMO=0`` to prove
+    the memo changes no chosen plan)."""
+    return os.environ.get("REPRO_MEMO", "").strip().lower() not in (
+        "0", "false", "off", "no",
+    )
 
 
 _TRANSFORMATION_NAMES: Optional[frozenset] = None
@@ -122,6 +132,9 @@ class OptimizerConfig:
     cost_model: CostModel = DEFAULT_COST_MODEL
     #: reuse of query sub-tree cost annotations (§3.4.2)
     annotation_reuse: bool = True
+    #: cross-statement subplan memo (generalized annotation reuse; see
+    #: :mod:`repro.optimizer.memo`); also requires annotation_reuse
+    plan_memo: bool = field(default_factory=_env_memo_enabled)
     #: left-deep DP up to this many from-items, greedy beyond
     dp_threshold: int = 8
     #: dynamic sampling for tables without statistics (§3.4.4)
@@ -272,6 +285,11 @@ class Database:
         self.metrics.register_collector(
             "dynamic_sampling", self._sampling_cache.snapshot
         )
+        #: cross-statement memo of optimized physical subplans, shared by
+        #: every hard parse against this instance; epoch-invalidated on
+        #: catalog/statistics version bumps (DDL, INSERT, ANALYZE)
+        self.plan_memo = PlanMemo()
+        self.metrics.register_collector("plan_memo", self.plan_memo.snapshot)
         #: 10053-style optimizer trace; None (the default) emits nothing.
         #: Arm with :meth:`tracing` or assign a Tracer directly.
         self.tracer: Optional[Tracer] = None
@@ -540,6 +558,9 @@ class Database:
             metrics.counter("optimizer.quarantined_statements").inc()
         if report.governor is not None and report.governor.exhausted:
             metrics.counter("optimizer.governor_exhaustions").inc()
+        memo_hits = report.memo_hits + report.memo_join_hits
+        if memo_hits:
+            metrics.counter("optimizer.memo_hits").inc(memo_hits)
 
     # -- optimization & execution ----------------------------------------------
 
@@ -547,7 +568,11 @@ class Database:
         """Parse + resolve into a query tree (no transformation)."""
         return build_query_tree(parse_query(sql), self.catalog)
 
-    def _physical(self, config: OptimizerConfig) -> PhysicalOptimizer:
+    def _physical(
+        self,
+        config: OptimizerConfig,
+        memo: Optional[MemoSession] = None,
+    ) -> PhysicalOptimizer:
         return PhysicalOptimizer(
             self.catalog,
             self.statistics,
@@ -556,6 +581,32 @@ class Database:
             OptimizerCounters(),
             config.dp_threshold,
             self._sampling_cache if config.dynamic_sampling else None,
+            memo,
+        )
+
+    def _memo_session(
+        self, config: OptimizerConfig, tree: QueryNode
+    ) -> Optional[MemoSession]:
+        """Open the statement's memo session (None = memo-off).
+
+        The epoch fingerprint carries everything a cached subplan depends
+        on besides query structure: catalog/statistics versions (so DDL,
+        INSERT, and ANALYZE invalidate, like the plan cache) and the
+        costing-relevant config.  Statements with peeked bind values skip
+        the memo — peeks are not part of the structural signature."""
+        if not (config.plan_memo and config.annotation_reuse):
+            return None
+        fingerprint = (
+            self.catalog.version,
+            self.statistics.version,
+            config.cost_model,
+            config.dp_threshold,
+            config.dynamic_sampling,
+        )
+        return self.plan_memo.begin_statement(
+            fingerprint,
+            peeked=has_peeked_binds(tree),
+            paranoid=config.cbqt.debug_checks,
         )
 
     def optimize_tree(
@@ -684,7 +735,7 @@ class Database:
         if token is not None:
             token.check()  # fast-fail before any optimization work
         columns = list(tree.output_columns())
-        physical = self._physical(config)
+        physical = self._physical(config, self._memo_session(config, tree))
         resilience = config.resilience
         governor = None
         if (

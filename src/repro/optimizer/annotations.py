@@ -12,6 +12,13 @@ Per §3.4.3, annotations are the one optimizer structure that must survive
 the per-state memory release, so the store lives outside any single
 optimization pass and is explicitly cleared by the framework when a
 transformation decision is final.
+
+The annotation store is statement-scoped.  Its cross-statement
+generalization is the subplan memo (:mod:`repro.optimizer.memo`), which
+uses the same structural-signature keys but survives hard parses and is
+invalidated by catalog/statistics version bumps; on a memo hit the plan
+is promoted into this store so the rest of the statement reuses it
+through the normal annotation path.
 """
 
 from __future__ import annotations

@@ -1,0 +1,298 @@
+"""Cross-statement memoization of optimized physical subplans.
+
+:class:`~repro.optimizer.annotations.AnnotationStore` (§3.4.2) reuses
+plans *within* one optimization: the framework clears it when a
+transformation decision is final.  The :class:`PlanMemo` generalizes the
+same structural-signature keys to whole-subplan reuse *across* CBQT
+search states, hard parses, and optimizer configurations ("Efficient
+Cost-Based Rewrite in a Bottom-Up Optimizer" shares physical subplans
+across rewrite states the same way).  Two tiers:
+
+* the **node tier** maps a query node's structural signature (the exact
+  key the annotation store uses) to its optimized plan, so a subquery
+  body that appears untransformed in every search state — or in the next
+  hard parse of the same statement — is optimized once ever;
+* the **join tier** maps a block's *join core* (from-items, join
+  types/conjuncts, WHERE conjuncts — everything that feeds
+  :class:`~repro.optimizer.join_order.JoinOrderEnumerator`) to the best
+  join plan, so states that differ only in post-join clauses (select
+  list, GROUP BY, ORDER BY, ROWNUM) share one join-order enumeration.
+
+Correctness contract:
+
+* Entries are valid only within one *epoch*: the catalog version, the
+  statistics version, and the costing-relevant configuration (cost
+  model, DP threshold, dynamic sampling).  :meth:`PlanMemo.begin_statement`
+  compares the caller's epoch fingerprint and clears the memo on any
+  mismatch — the same invalidation rule the plan cache applies on DDL /
+  ANALYZE version bumps.
+* Statements optimized with peeked bind values never consult or populate
+  the memo: peeks are not part of the structural signature, so sharing
+  across different peeked values could change plans.
+* Plans computed under a cost budget (§3.4.1 cut-off) are stored only
+  when they came in at or under the budget: cost monotonicity then
+  guarantees they equal the unbudgeted optimum, so a later unbudgeted
+  lookup may reuse them.
+* Plans are immutable after construction, so memo hits share subplan
+  DAGs without deep copies (re-parenting is reference sharing).
+* The lookup path is a ``memo.lookup`` fault-injection point; an
+  injected :class:`~repro.errors.FaultInjected` degrades the statement
+  to memo-off (the session deactivates) — a memo failure can slow a
+  statement down, never change its plan.
+
+In paranoid mode (``debug_checks``) every reused plan is re-audited by
+:class:`~repro.analysis.PlanVerifier` before it is returned, so a memo
+hit is held to exactly the invariants a freshly built plan must satisfy.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+from ..errors import FaultInjected, VerificationError
+from ..resilience import faults
+from .plans import Plan
+
+
+@dataclass
+class MemoStats:
+    """Lifetime accounting of one :class:`PlanMemo` (metrics collector)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    join_hits: int = 0
+    join_misses: int = 0
+    join_stores: int = 0
+    #: epoch-fingerprint mismatches that cleared the memo
+    invalidations: int = 0
+    #: statements that skipped the memo (peeked binds / disabled)
+    disabled_statements: int = 0
+    #: injected lookup faults absorbed by degrading to memo-off
+    faults: int = 0
+    #: plan operators served from the memo instead of being rebuilt
+    shared_operators: int = 0
+    #: largest reused subplan, in operators (share depth)
+    max_share_depth: int = 0
+
+
+def _verify_reused(plan: Plan) -> None:
+    """Paranoid-mode audit of a memo hit: the reused plan must satisfy
+    every :class:`~repro.analysis.PlanVerifier` invariant, exactly as a
+    freshly built plan would under ``debug_checks``."""
+    from ..analysis import PlanVerifier
+
+    errors = [d for d in PlanVerifier().verify(plan) if d.is_error]
+    if errors:
+        raise VerificationError(
+            "memo-reused plan failed verification: "
+            + "; ".join(d.format() for d in errors)
+        )
+
+
+class MemoSession:
+    """One statement's view of the shared memo.
+
+    Created by :meth:`PlanMemo.begin_statement`; the physical optimizer
+    holds it for the statement.  The session carries the per-statement
+    hit accounting the framework reports and the ``active`` flag the
+    ``memo.lookup`` fault point degrades: after an injected fault every
+    further lookup and store is a no-op, so the statement completes with
+    freshly built plans.
+    """
+
+    __slots__ = (
+        "_memo",
+        "active",
+        "paranoid",
+        "hits",
+        "join_hits",
+        "stores",
+        "join_stores",
+        "shared_operators",
+        "max_share_depth",
+    )
+
+    def __init__(self, memo: "PlanMemo", paranoid: bool = False):
+        self._memo = memo
+        self.active = True
+        self.paranoid = paranoid
+        self.hits = 0
+        self.join_hits = 0
+        self.stores = 0
+        self.join_stores = 0
+        self.shared_operators = 0
+        self.max_share_depth = 0
+
+    # -- node tier ---------------------------------------------------------
+
+    def get(self, sig: str) -> Optional[Plan]:
+        return self._lookup(sig, join_tier=False)
+
+    def put(self, sig: str, plan: Plan) -> None:
+        if not self.active:
+            return
+        self.stores += 1
+        self._memo._store(sig, plan, join_tier=False)
+
+    # -- join tier ---------------------------------------------------------
+
+    def join_get(self, key: str) -> Optional[Plan]:
+        return self._lookup(key, join_tier=True)
+
+    def join_put(self, key: str, plan: Plan) -> None:
+        if not self.active:
+            return
+        self.join_stores += 1
+        self._memo._store(key, plan, join_tier=True)
+
+    # -- shared machinery --------------------------------------------------
+
+    def _lookup(self, key: str, join_tier: bool) -> Optional[Plan]:
+        if not self.active:
+            return None
+        try:
+            faults.check("memo.lookup")
+        except FaultInjected:
+            # Degrade to memo-off for the rest of the statement: a memo
+            # failure must never produce a wrong plan, only fresh work.
+            self.active = False
+            self._memo._record_fault()
+            return None
+        plan = self._memo._lookup(key, join_tier)
+        if plan is None:
+            return None
+        if self.paranoid:
+            _verify_reused(plan)
+        operators = plan.total_operator_count()
+        self.shared_operators += operators
+        if operators > self.max_share_depth:
+            self.max_share_depth = operators
+        if join_tier:
+            self.join_hits += 1
+        else:
+            self.hits += 1
+        return plan
+
+
+class PlanMemo:
+    """The shared, epoch-validated subplan memo (one per Database).
+
+    Thread-safe: concurrent hard parses from the serving front end share
+    one memo; every table access happens under one lock, and the plans
+    themselves are immutable.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.stats = MemoStats()
+        self._lock = threading.Lock()
+        self._plans: dict[str, Plan] = {}
+        self._join_plans: dict[str, Plan] = {}
+        self._fingerprint: Optional[Hashable] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin_statement(
+        self,
+        fingerprint: Hashable,
+        peeked: bool = False,
+        paranoid: bool = False,
+    ) -> Optional[MemoSession]:
+        """Open a statement-scoped session, validating the epoch.
+
+        *fingerprint* must capture everything a cached plan depends on:
+        catalog version, statistics version, and the costing-relevant
+        config.  A mismatch clears the memo (version-bump invalidation).
+        Returns ``None`` — memo off for the statement — when the memo is
+        disabled or *peeked* bind values are in play.
+        """
+        with self._lock:
+            if fingerprint != self._fingerprint:
+                if self._fingerprint is not None and (
+                    self._plans or self._join_plans
+                ):
+                    self.stats.invalidations += 1
+                self._plans.clear()
+                self._join_plans.clear()
+                self._fingerprint = fingerprint
+            if not self.enabled or peeked:
+                self.stats.disabled_statements += 1
+                return None
+        return MemoSession(self, paranoid=paranoid)
+
+    def invalidate(self) -> None:
+        """Drop every entry (explicit invalidation; epoch unchanged)."""
+        with self._lock:
+            self._plans.clear()
+            self._join_plans.clear()
+            self.stats.invalidations += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans) + len(self._join_plans)
+
+    # -- session back ends -------------------------------------------------
+
+    def _lookup(self, key: str, join_tier: bool) -> Optional[Plan]:
+        with self._lock:
+            table = self._join_plans if join_tier else self._plans
+            plan = table.get(key)
+            stats = self.stats
+            if plan is None:
+                if join_tier:
+                    stats.join_misses += 1
+                else:
+                    stats.misses += 1
+            else:
+                operators = plan.total_operator_count()
+                stats.shared_operators += operators
+                if operators > stats.max_share_depth:
+                    stats.max_share_depth = operators
+                if join_tier:
+                    stats.join_hits += 1
+                else:
+                    stats.hits += 1
+        return plan
+
+    def _store(self, key: str, plan: Plan, join_tier: bool) -> None:
+        with self._lock:
+            if join_tier:
+                table = self._join_plans
+                self.stats.join_stores += 1
+            else:
+                table = self._plans
+                self.stats.stores += 1
+            table[key] = plan
+
+    def _record_fault(self) -> None:
+        with self._lock:
+            self.stats.faults += 1
+
+    # -- metrics -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Metrics-collector export (``Database.snapshot()['plan_memo']``)."""
+        with self._lock:
+            stats = self.stats
+            lookups = stats.hits + stats.misses + stats.join_hits \
+                + stats.join_misses
+            hits = stats.hits + stats.join_hits
+            return {
+                "enabled": self.enabled,
+                "entries": len(self._plans) + len(self._join_plans),
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "stores": stats.stores,
+                "join_hits": stats.join_hits,
+                "join_misses": stats.join_misses,
+                "join_stores": stats.join_stores,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+                "invalidations": stats.invalidations,
+                "disabled_statements": stats.disabled_statements,
+                "faults": stats.faults,
+                "shared_operators": stats.shared_operators,
+                "max_share_depth": stats.max_share_depth,
+            }

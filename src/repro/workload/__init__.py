@@ -9,6 +9,11 @@ from .runner import (
     run_workload,
     verify_result_equivalence,
 )
+from .plan_digest import (
+    corpus_digests,
+    normalize_generated_names,
+    structural_digest,
+)
 from .schemas import (
     AppsSchema,
     AppsSchemaBuilder,
@@ -35,6 +40,9 @@ __all__ = [
     "QueryGenerator",
     "ConfigMeasurement",
     "QueryOutcome",
+    "corpus_digests",
+    "normalize_generated_names",
+    "structural_digest",
     "WorkloadResult",
     "register_workload_functions",
     "run_workload",

@@ -3,9 +3,12 @@ collect the paper's measurements.
 
 For every query we record, under each config:
 
-* optimization effort — wall-clock seconds and the number of
-  transformation states costed (the optimizer-time currency Table 2
-  reports);
+* optimization effort — wall-clock seconds, the number of
+  transformation states costed (the currency Table 2 reports), and the
+  number of *fresh join-order enumerations* the physical optimizer ran
+  (the deterministic optimizer-time currency: the subplan memo serves
+  repeated join cores without enumerating, so this is the cost a state
+  actually pays, where states-costed cannot see memo savings);
 * execution effort — deterministic work units from the engine;
 * the plan (to detect "execution plans changed", the paper's affected-set
   criterion in §4.1);
@@ -31,6 +34,7 @@ class ConfigMeasurement:
 
     exec_work: float
     opt_states: int
+    opt_enumerations: int
     opt_seconds: float
     exec_seconds: float
     plan_text: str
@@ -47,6 +51,11 @@ class ConfigMeasurement:
 
 #: work units charged per transformation state costed by the optimizer
 OPT_STATE_COST = 40.0
+
+#: work units charged per fresh join-order enumeration; the memo's
+#: cross-state sharing shows up as a drop in this charge, never in
+#: states-costed (which counts transformation decisions, not plan work)
+OPT_ENUMERATION_COST = 40.0
 
 
 @dataclass
@@ -123,6 +132,7 @@ def _measure(
     return ConfigMeasurement(
         exec_work=outcome.exec_stats.work_units,
         opt_states=max(outcome.report.total_states, 1),
+        opt_enumerations=outcome.report.join_enumerations,
         opt_seconds=outcome.optimize_seconds,
         exec_seconds=outcome.execute_seconds,
         plan_text=outcome.plan.describe(),

@@ -90,10 +90,16 @@ def optimization_time_increase_percent(
     outcomes: Sequence[QueryOutcome],
 ) -> float:
     """Aggregate optimization-effort increase of treated over baseline,
-    measured in states costed (the deterministic proxy for optimizer
-    time)."""
-    base = sum(o.baseline.opt_states for o in outcomes)
-    treated = sum(o.treated.opt_states for o in outcomes)
+    measured in *fresh join-order enumerations* — the deterministic
+    proxy for optimizer time.  Unlike states costed, this currency is
+    what the subplan memo (:mod:`repro.optimizer.memo`) actually saves:
+    states whose join cores were already enumerated under an earlier
+    state (or the baseline parse) hit the memo and pay nothing, so the
+    memo's cross-state sharing shows up here as a smaller increase.
+    Charged at :data:`~repro.workload.runner.OPT_ENUMERATION_COST` work
+    units per enumeration when a benchmark needs absolute numbers."""
+    base = sum(max(o.baseline.opt_enumerations, 1) for o in outcomes)
+    treated = sum(o.treated.opt_enumerations for o in outcomes)
     if base <= 0:
         return 0.0
     return (treated / base - 1.0) * 100.0

@@ -122,8 +122,9 @@ def make_outcome(name, base_time, treated_time, base_states=1,
 
     def measurement(t, states):
         return ConfigMeasurement(
-            exec_work=t, opt_states=states, opt_seconds=0.0,
-            exec_seconds=0.0, plan_text=name + str(t), rows=0,
+            exec_work=t, opt_states=states, opt_enumerations=states,
+            opt_seconds=0.0, exec_seconds=0.0, plan_text=name + str(t),
+            rows=0,
         )
 
     return QueryOutcome(
@@ -161,6 +162,16 @@ class TestTopNAggregation:
             make_outcome("b", 1.0, 1.0, base_states=2, treated_states=3),
         ]
         assert optimization_time_increase_percent(outcomes) == pytest.approx(50.0)
+
+    def test_memo_served_treated_shows_as_decrease(self):
+        # a treated run whose join cores were all served from the subplan
+        # memo paid zero fresh enumerations: the increase goes negative
+        outcomes = [
+            make_outcome("a", 1.0, 1.0, base_states=2, treated_states=0),
+        ]
+        assert optimization_time_increase_percent(outcomes) == pytest.approx(
+            -100.0
+        )
 
     def test_improvement_ratio(self):
         outcome = make_outcome("x", 200.0, 100.0)
